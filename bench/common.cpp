@@ -1,0 +1,203 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace pkifmm::bench {
+
+namespace {
+
+template <class Map>
+double sum_prefix(const Map& m, const std::string& prefix) {
+  double total = 0.0;
+  for (const auto& [name, v] : m)
+    if (name.rfind(prefix, 0) == 0) total += static_cast<double>(v);
+  return total;
+}
+
+comm::CostTracker::Counters counters_prefix(const comm::CostTracker& cost,
+                                            const std::string& prefix) {
+  comm::CostTracker::Counters out;
+  for (const auto& [name, c] : cost.phases()) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    out.msgs_sent += c.msgs_sent;
+    out.bytes_sent += c.bytes_sent;
+    out.msgs_recv += c.msgs_recv;
+    out.bytes_recv += c.bytes_recv;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> Experiment::phase_times(const std::string& prefix) const {
+  std::vector<double> out;
+  out.reserve(reports.size());
+  for (const auto& rep : reports) {
+    const double cpu = sum_prefix(rep.cpu_phases, prefix);
+    const auto c = counters_prefix(rep.cost, prefix);
+    out.push_back(cpu + model.comm_time(c));
+  }
+  return out;
+}
+
+std::vector<double> Experiment::phase_flops(const std::string& prefix) const {
+  std::vector<double> out;
+  out.reserve(reports.size());
+  for (const auto& rep : reports)
+    out.push_back(sum_prefix(rep.flop_phases, prefix));
+  return out;
+}
+
+std::vector<double> Experiment::comm_times(const std::string& prefix) const {
+  std::vector<double> out;
+  out.reserve(reports.size());
+  for (const auto& rep : reports)
+    out.push_back(model.comm_time(counters_prefix(rep.cost, prefix)));
+  return out;
+}
+
+std::uint64_t Experiment::total_msgs(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& rep : reports)
+    total += counters_prefix(rep.cost, prefix).msgs_sent;
+  return total;
+}
+
+std::uint64_t Experiment::total_bytes(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& rep : reports)
+    total += counters_prefix(rep.cost, prefix).bytes_sent;
+  return total;
+}
+
+std::uint64_t Experiment::max_msgs(const std::string& prefix) const {
+  std::uint64_t m = 0;
+  for (const auto& rep : reports)
+    m = std::max(m, counters_prefix(rep.cost, prefix).msgs_sent);
+  return m;
+}
+
+std::vector<double> Experiment::paper_times(const std::string& prefix) const {
+  std::vector<double> out;
+  out.reserve(reports.size());
+  for (const auto& rep : reports) {
+    const double flops = sum_prefix(rep.flop_phases, prefix);
+    const auto c = counters_prefix(rep.cost, prefix);
+    out.push_back(model.compute_time(static_cast<std::uint64_t>(flops)) +
+                  model.comm_time(c));
+  }
+  return out;
+}
+
+std::vector<double> GpuRun::device_times(const std::string& kernel) const {
+  std::vector<double> out;
+  out.reserve(dev_kernels.size());
+  for (const auto& dk : dev_kernels) {
+    auto it = dk.find(kernel);
+    out.push_back(it == dk.end() ? 0.0 : it->second.modeled_seconds);
+  }
+  return out;
+}
+
+std::vector<double> GpuRun::host_times() const {
+  // CPU-resident phases of the GPU configuration.
+  static const char* kHostPhases[] = {"eval.s2u.host", "eval.vli.host",
+                                      "eval.u2u", "eval.down", "eval.xli",
+                                      "eval.wli"};
+  std::vector<double> out;
+  out.reserve(reports.size());
+  for (const auto& rep : reports) {
+    double flops = 0.0;
+    for (const char* ph : kHostPhases)
+      flops += sum_prefix(rep.flop_phases, ph);
+    const auto c = counters_prefix(rep.cost, "eval.comm");
+    out.push_back(model.compute_time(static_cast<std::uint64_t>(flops)) +
+                  model.comm_time(c));
+  }
+  return out;
+}
+
+std::vector<double> GpuRun::eval_times() const {
+  std::vector<double> out = host_times();
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    for (const auto& [name, ks] : dev_kernels[r])
+      out[r] += ks.modeled_seconds;
+    out[r] += dev_transfer_seconds[r];
+  }
+  return out;
+}
+
+GpuRun run_gpu_fmm(const ExperimentConfig& cfg, int block) {
+  const core::Tables& base = tables_for("laplace", cfg.opts);
+  const core::Tables tables = base.with_options(cfg.opts);
+
+  GpuRun run;
+  run.dev_kernels.resize(cfg.p);
+  run.dev_transfer_seconds.assign(cfg.p, 0.0);
+  run.reports = comm::Runtime::run(cfg.p, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(cfg.dist, cfg.n_points, ctx.rank(),
+                                       ctx.size(), 1, cfg.seed);
+    core::ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+
+    gpu::StreamDevice dev;  // one device per rank, as in the paper
+    gpu::GpuEvaluator eval(tables, fmm.let(), ctx, dev, block);
+    eval.run();
+    run.dev_kernels[ctx.rank()] = dev.kernels();
+    run.dev_transfer_seconds[ctx.rank()] = dev.transfer_seconds();
+  });
+  return run;
+}
+
+const core::Tables& tables_for(const std::string& kernel,
+                               const core::FmmOptions& opts) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<kernels::Kernel>> kernels;
+  static std::map<std::pair<std::string, int>, std::unique_ptr<core::Tables>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& kern = kernels[kernel];
+  if (!kern) kern = kernels::make_kernel(kernel);
+  auto& t = cache[{kernel, opts.surface_n}];
+  if (!t) {
+    core::FmmOptions base;
+    base.surface_n = opts.surface_n;
+    t = std::make_unique<core::Tables>(*kern, base);
+    // Warm the lazy M2L spectra so the first experiment's timed phases
+    // don't pay the one-time table build.
+    if (kern->homogeneous()) {
+      for (int dx = -3; dx <= 3; ++dx)
+        for (int dy = -3; dy <= 3; ++dy)
+          for (int dz = -3; dz <= 3; ++dz)
+            if (core::is_vlist_offset(dx, dy, dz))
+              (void)t->m2l_spectra(0, core::offset_index(dx, dy, dz));
+    }
+  }
+  return *t;
+}
+
+Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel) {
+  const core::Tables& base = tables_for(kernel, cfg.opts);
+  const core::Tables tables = base.with_options(cfg.opts);
+
+  Experiment exp;
+  exp.reports = comm::Runtime::run(cfg.p, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(cfg.dist, cfg.n_points, ctx.rank(),
+                                       ctx.size(), tables.sdim(), cfg.seed);
+    core::ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    (void)fmm.evaluate();
+  });
+  return exp;
+}
+
+void print_header(const std::string& artifact, const std::string& what) {
+  std::printf("\n=== %s — %s ===\n", artifact.c_str(), what.c_str());
+  std::printf(
+      "(per-rank time = measured thread-CPU work + alpha-beta modeled "
+      "communication; see DESIGN.md)\n\n");
+}
+
+}  // namespace pkifmm::bench

@@ -1,0 +1,69 @@
+/// \file fig6_gpu_weak.cpp
+/// \brief Reproduces paper Figure 6: GPU weak scaling on Lincoln.
+///
+/// Paper setup: 1M uniform points per GPU, Laplace kernel, one GPU per
+/// MPI process, p = 1..256; GPU runs use a shallower tree (q ~ 400,
+/// favoring the GPU-friendly U-list) while CPU runs use q ~ 100, both
+/// tuned for their architecture. Claims: a sustained >=25x speedup over
+/// the CPU-only configuration and 1.8-3 s per evaluation. Here: default
+/// 2K points/rank, p = 1..16; the CPU baseline is modeled at the
+/// paper's 500 MFlop/s sustained core rate, the GPU configuration with
+/// the streaming-device cost model.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace pkifmm;
+using namespace pkifmm::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int pmax = static_cast<int>(cli.get_int("pmax", 8));
+  const auto per_rank = static_cast<std::uint64_t>(cli.get_int("per-rank", 3000));
+  const int q_gpu = static_cast<int>(cli.get_int("q-gpu", 1050));
+  const int q_cpu = static_cast<int>(cli.get_int("q-cpu", 100));
+
+  print_header("Figure 6", "GPU weak scaling, CPU-only vs GPU/CPU");
+  std::printf("q(GPU) = %d, q(CPU) = %d — each tuned for its architecture, "
+              "as in the paper\n\n", q_gpu, q_cpu);
+  Table table({"p (GPUs)", "N total", "CPU-only eval", "GPU eval",
+               "speedup", "speedup (bar, 40x scale)"});
+
+  double min_speedup = 1e30;
+  for (int p = 1; p <= pmax; p *= 2) {
+    ExperimentConfig cfg;
+    cfg.dist = octree::Distribution::kUniform;
+    cfg.p = p;
+    cfg.n_points = per_rank * p;
+    cfg.opts.surface_n = 4;
+    cfg.opts.load_balance = (p > 1);
+
+    // CPU-only configuration, tuned q for the CPU (deeper tree,
+    // V-list-heavy).
+    cfg.opts.max_points_per_leaf = q_cpu;
+    Experiment cpu = run_fmm(cfg, "laplace");
+    const double t_cpu = Summary::of(cpu.paper_times("eval.")).max;
+
+    // GPU configuration: shallower tree favoring the U-list (the paper
+    // used ~400 points/box on the GPU vs ~100 on the CPU).
+    cfg.opts.max_points_per_leaf = q_gpu;
+    GpuRun gpu = run_gpu_fmm(cfg);
+    const auto gt = gpu.eval_times();
+    const double t_gpu = Summary::of(gt).max;
+    min_speedup = std::min(min_speedup, t_cpu / t_gpu);
+
+    table.add_row({std::to_string(p), with_commas(cfg.n_points),
+                   sci(t_cpu), sci(t_gpu), fixed(t_cpu / t_gpu, 1) + "x",
+                   bar(t_cpu / t_gpu, 40.0)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Paper reference: a sustained >=25x GPU speedup across the whole\n"
+      "weak-scaling range (256M points in 2.3 s on 256 GPUs, ~8 TFlop/s).\n"
+      "Minimum speedup across the measured range: %.1fx. (At this\n"
+      "simulator scale trees are shallow, so level-quantization wobbles\n"
+      "the series more than at the paper's 1M points/GPU.)\n",
+      min_speedup);
+  return 0;
+}

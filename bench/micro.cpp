@@ -1,0 +1,149 @@
+/// \file micro.cpp
+/// \brief google-benchmark micro-benchmarks of the pkifmm substrates:
+/// Morton algebra, FFTs, the pseudo-inverse precomputation, kernel
+/// inner loops (the paper's "500 MFlop/s single-core" context), and
+/// the in-process communication fabric.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/comm.hpp"
+#include "comm/sort.hpp"
+#include "core/surface.hpp"
+#include "core/tables.hpp"
+#include "fft/fft.hpp"
+#include "kernels/kernel.hpp"
+#include "la/svd.hpp"
+#include "morton/key.hpp"
+#include "octree/build.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pkifmm;
+
+void BM_MortonCellOfPoint(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> xs(3000);
+  for (auto& x : xs) x = rng.uniform();
+  for (auto _ : state) {
+    morton::Bits acc = 0;
+    for (std::size_t i = 0; i + 2 < xs.size(); i += 3)
+      acc ^= morton::cell_of_point(xs[i], xs[i + 1], xs[i + 2]).bits;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MortonCellOfPoint);
+
+void BM_MortonColleagues(benchmark::State& state) {
+  const auto k = morton::ancestor_at(morton::cell_of_point(0.37, 0.52, 0.81),
+                                     static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto c = morton::colleagues(k);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MortonColleagues)->Arg(3)->Arg(10)->Arg(20);
+
+void BM_MortonAdjacent(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<morton::Key> keys;
+  for (int i = 0; i < 256; ++i)
+    keys.push_back(morton::ancestor_at(
+        morton::cell_of_point(rng.uniform(), rng.uniform(), rng.uniform()),
+        2 + static_cast<int>(rng.uniform_u64(8))));
+  for (auto _ : state) {
+    int count = 0;
+    for (std::size_t i = 0; i + 1 < keys.size(); ++i)
+      count += morton::adjacent(keys[i], keys[i + 1]);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 255);
+}
+BENCHMARK(BM_MortonAdjacent);
+
+void BM_Fft3d(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  fft::Fft3d plan(n);
+  Rng rng(3);
+  std::vector<fft::Complex> vol(plan.volume());
+  for (auto& v : vol) v = fft::Complex(rng.uniform(), rng.uniform());
+  for (auto _ : state) {
+    plan.forward(vol);
+    plan.inverse(vol);
+    benchmark::DoNotOptimize(vol.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * plan.transform_flops());
+}
+BENCHMARK(BM_Fft3d)->Arg(8)->Arg(16);
+
+void BM_PinvPrecompute(benchmark::State& state) {
+  // The S2U/D2D conversion operator build for surface order n.
+  const int n = static_cast<int>(state.range(0));
+  kernels::LaplaceKernel kern;
+  const std::array<double, 3> c = {0, 0, 0};
+  const auto ue = core::surface_points(n, 1.05, c, 0.5);
+  const auto uc = core::surface_points(n, 2.95, c, 0.5);
+  for (auto _ : state) {
+    auto p = la::pinv(kern.assemble(uc, ue));
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_PinvPrecompute)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_KernelDirect(benchmark::State& state) {
+  auto kern = kernels::make_kernel(state.range(0) == 0 ? "laplace" : "stokes");
+  Rng rng(4);
+  const int n = 512;
+  std::vector<double> tgt(3 * n), src(3 * n),
+      den(n * kern->source_dim());
+  for (auto& v : tgt) v = rng.uniform();
+  for (auto& v : src) v = rng.uniform();
+  for (auto& v : den) v = rng.uniform(-1, 1);
+  std::vector<double> pot(n * kern->target_dim());
+  for (auto _ : state) {
+    std::fill(pot.begin(), pot.end(), 0.0);
+    kern->direct(tgt, src, den, pot);
+    benchmark::DoNotOptimize(pot.data());
+  }
+  // Report sustained model-flops (compare with the paper's 500 MFlop/s).
+  state.SetItemsProcessed(state.iterations() * n * n *
+                          kern->flops_per_interaction());
+}
+BENCHMARK(BM_KernelDirect)->Arg(0)->Arg(1);
+
+void BM_SampleSort(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    comm::Runtime::run(p, [](comm::RankCtx& ctx) {
+      Rng rng(5, ctx.rank());
+      std::vector<std::uint64_t> data(20000);
+      for (auto& v : data) v = rng.next_u64();
+      comm::sample_sort(ctx.comm, data, std::less<>{});
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 20000 * p);
+}
+BENCHMARK(BM_SampleSort)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_TreeConstruction(benchmark::State& state) {
+  const auto dist = state.range(0) == 0 ? octree::Distribution::kUniform
+                                        : octree::Distribution::kEllipsoid;
+  auto pts = octree::generate_points(dist, 20000, 0, 1, 1, 6);
+  for (auto _ : state) {
+    comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+      octree::BuildParams bp;
+      bp.max_points_per_leaf = 100;
+      auto copy = pts;
+      auto tree = octree::build_distributed_tree(ctx.comm, std::move(copy), bp);
+      benchmark::DoNotOptimize(tree.leaves.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TreeConstruction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

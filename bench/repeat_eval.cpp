@@ -1,0 +1,78 @@
+/// \file repeat_eval.cpp
+/// \brief Setup amortization over repeated evaluations — the paper's
+/// target applications (fluid mechanics time-steppers) call the
+/// evaluation every step on a slowly changing particle set, which is
+/// why the setup/evaluation split of Figs. 3-4 matters. This bench
+/// times one setup plus a sequence of evaluations with refreshed
+/// densities (exercising the ghost-density exchange, the paper's first
+/// evaluation-phase communication step).
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace pkifmm;
+using namespace pkifmm::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int p = static_cast<int>(cli.get_int("p", 4));
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 20000));
+  const int steps = static_cast<int>(cli.get_int("steps", 5));
+
+  print_header("Repeated evaluation",
+               "setup amortization over time-stepper-style calls");
+
+  const core::Tables& base = tables_for("laplace", core::FmmOptions{});
+  core::FmmOptions opts = base.options();
+  opts.max_points_per_leaf = 60;
+  const core::Tables tables = base.with_options(opts);
+
+  std::vector<double> setup_cpu(p, 0.0);
+  std::vector<std::vector<double>> step_cpu(steps, std::vector<double>(p));
+  comm::Runtime::run(p, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(octree::Distribution::kEllipsoid, n,
+                                       ctx.rank(), p, 1, 77);
+    core::ParallelFmm fmm(ctx, tables);
+    {
+      const double t0 = thread_cpu_seconds();
+      fmm.setup(std::move(pts));
+      setup_cpu[ctx.rank()] = thread_cpu_seconds() - t0;
+    }
+
+    std::vector<std::uint64_t> gids;
+    for (const auto& node : fmm.let().nodes) {
+      if (!node.owned) continue;
+      for (const auto& pt : fmm.let().points_of(node)) gids.push_back(pt.gid);
+    }
+    Rng rng(5, ctx.rank());
+    for (int s = 0; s < steps; ++s) {
+      // New densities each "time step".
+      std::vector<double> den(gids.size());
+      for (auto& v : den) v = rng.uniform(-1, 1);
+      fmm.set_densities(gids, den);
+      const double t0 = thread_cpu_seconds();
+      (void)fmm.evaluate();
+      step_cpu[s][ctx.rank()] = thread_cpu_seconds() - t0;
+    }
+  });
+
+  Table table({"phase", "max cpu (s)", "avg cpu (s)"});
+  const Summary s0 = Summary::of(setup_cpu);
+  table.add_row({"setup (once)", sci(s0.max), sci(s0.avg)});
+  double eval_sum = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    const Summary ss = Summary::of(step_cpu[s]);
+    table.add_row({"evaluate step " + std::to_string(s + 1), sci(ss.max),
+                   sci(ss.avg)});
+    eval_sum += ss.max;
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Setup is %.1f%% of one evaluation; amortized over %d steps it is\n"
+      "%.1f%% of total time. Evaluations after the first cost the same\n"
+      "(the tree, LET and lists are reused; only densities move).\n",
+      100.0 * s0.max / (eval_sum / steps), steps,
+      100.0 * s0.max / (s0.max + eval_sum));
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "comm/comm.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pkifmm::comm {
+
+void Comm::barrier() {
+  if (size_ == 1) return;
+  const int rounds = [&] {
+    int r = 0;
+    for (int k = 1; k < size_; k <<= 1) ++r;
+    return r;
+  }();
+  const int base = next_collective_tags(rounds);
+  // Dissemination barrier: in round i, signal rank (r + 2^i) mod p and
+  // wait for rank (r - 2^i) mod p.
+  for (int i = 0, step = 1; step < size_; ++i, step <<= 1) {
+    const int to = (rank_ + step) % size_;
+    const int from = (rank_ - step % size_ + size_) % size_;
+    raw_send(to, base + i, Bytes{});
+    raw_recv(from, base + i);
+  }
+}
+
+std::vector<RankReport> Runtime::run(
+    int nranks, const std::function<void(RankCtx&)>& fn) {
+  PKIFMM_CHECK(nranks >= 1);
+  Fabric fabric(nranks);
+  std::vector<RankReport> reports(nranks);
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto body = [&](int rank) {
+    CostTracker cost;
+    PhaseTimer timer;
+    FlopCounter flops;
+    Comm comm(fabric, rank, nranks, cost);
+    RankCtx ctx{comm, timer, flops};
+    try {
+      fn(ctx);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      fabric.poison();
+    }
+    RankReport& rep = reports[rank];
+    rep.cost = std::move(cost);
+    rep.time_phases = timer.phases();
+    rep.cpu_phases = timer.cpu_phases();
+    rep.flop_phases = flops.phases();
+    rep.total_flops = flops.total();
+  };
+
+  if (nranks == 1) {
+    body(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(nranks);
+    for (int r = 0; r < nranks; ++r) threads.emplace_back(body, r);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) {
+    // Suppress FabricPoisoned in favor of the root-cause exception.
+    std::rethrow_exception(first_error);
+  }
+  return reports;
+}
+
+}  // namespace pkifmm::comm

@@ -1,0 +1,41 @@
+#include "comm/fabric.hpp"
+
+namespace pkifmm::comm {
+
+void Fabric::send(int source, int dest, int tag, Bytes payload) {
+  Mailbox& mb = box(dest);
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    mb.queues[{source, tag}].push_back(std::move(payload));
+  }
+  mb.cv.notify_all();
+}
+
+Bytes Fabric::recv(int self, int source, int tag) {
+  Mailbox& mb = box(self);
+  std::unique_lock<std::mutex> lock(mb.mu);
+  auto& q = mb.queues[{source, tag}];
+  mb.cv.wait(lock, [&] { return !q.empty() || poisoned_.load(); });
+  if (q.empty()) throw FabricPoisoned();
+  Bytes payload = std::move(q.front());
+  q.pop_front();
+  return payload;
+}
+
+bool Fabric::probe(int self, int source, int tag) {
+  Mailbox& mb = box(self);
+  std::lock_guard<std::mutex> lock(mb.mu);
+  auto it = mb.queues.find({source, tag});
+  return it != mb.queues.end() && !it->second.empty();
+}
+
+void Fabric::poison() {
+  poisoned_.store(true);
+  for (int r = 0; r < size(); ++r) {
+    // Acquire each mailbox lock so waiters can't miss the wakeup.
+    std::lock_guard<std::mutex> lock(boxes_[r].mu);
+    boxes_[r].cv.notify_all();
+  }
+}
+
+}  // namespace pkifmm::comm

@@ -1,0 +1,69 @@
+#pragma once
+/// \file fabric.hpp
+/// \brief The in-process interconnect: per-rank mailboxes.
+///
+/// Each simulated rank owns a mailbox of (source, tag)-keyed message
+/// queues guarded by a mutex/condvar. send() enqueues into the
+/// destination's mailbox and never blocks (buffered/eager semantics,
+/// like small-message MPI); recv() blocks until a matching message is
+/// present. Messages between a fixed (source, destination, tag) triple
+/// are delivered in send order, matching MPI's non-overtaking rule.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/bytes.hpp"
+
+namespace pkifmm::comm {
+
+/// Thrown out of recv() when the fabric has been poisoned because some
+/// other rank failed; lets blocked ranks unwind instead of deadlocking.
+class FabricPoisoned : public std::runtime_error {
+ public:
+  FabricPoisoned() : std::runtime_error("comm fabric poisoned") {}
+};
+
+/// Message-passing fabric shared by all ranks of one Runtime::run.
+class Fabric {
+ public:
+  explicit Fabric(int nranks) : boxes_(nranks) {}
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+
+  /// Enqueues payload into dest's mailbox; never blocks.
+  void send(int source, int dest, int tag, Bytes payload);
+
+  /// Blocks until a message from (source, tag) is available and pops it.
+  /// Throws FabricPoisoned if poison() is called while waiting.
+  Bytes recv(int self, int source, int tag);
+
+  /// True if a matching message is queued (non-blocking probe).
+  bool probe(int self, int source, int tag);
+
+  /// Wakes every blocked recv() with FabricPoisoned. Called by the
+  /// Runtime when a rank throws, so its peers unwind too.
+  void poison();
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Bytes>> queues;
+  };
+
+  Mailbox& box(int rank) {
+    PKIFMM_CHECK(rank >= 0 && rank < size());
+    return boxes_[rank];
+  }
+
+  std::vector<Mailbox> boxes_;
+  std::atomic<bool> poisoned_{false};
+};
+
+}  // namespace pkifmm::comm

@@ -1,0 +1,36 @@
+#include "core/direct.hpp"
+
+namespace pkifmm::core {
+
+std::vector<double> direct_local(const kernels::Kernel& kernel,
+                                 std::span<const octree::PointRec> targets,
+                                 std::span<const octree::PointRec> sources) {
+  const int sd = kernel.source_dim();
+  const int td = kernel.target_dim();
+  std::vector<double> tpos, spos, sden;
+  tpos.reserve(targets.size() * 3);
+  for (const auto& t : targets)
+    tpos.insert(tpos.end(), t.pos, t.pos + 3);
+  spos.reserve(sources.size() * 3);
+  sden.reserve(sources.size() * sd);
+  for (const auto& s : sources) {
+    if (!s.is_source()) continue;  // target-only points carry no density
+    spos.insert(spos.end(), s.pos, s.pos + 3);
+    sden.insert(sden.end(), s.den, s.den + sd);
+  }
+  std::vector<double> pot(targets.size() * td, 0.0);
+  kernel.direct(tpos, spos, sden, pot);
+  return pot;
+}
+
+std::vector<double> direct_reference(
+    comm::Comm& c, const kernels::Kernel& kernel,
+    std::span<const octree::PointRec> targets) {
+  auto all = c.allgatherv_concat(targets);
+  // NOTE: every rank must pass its full local point set for the global
+  // gather to cover all sources; `targets` double as this rank's source
+  // contribution.
+  return direct_local(kernel, targets, all);
+}
+
+}  // namespace pkifmm::core

@@ -1,0 +1,27 @@
+#pragma once
+/// \file direct.hpp
+/// \brief O(N^2) direct summation reference (test/bench baseline).
+
+#include <span>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "kernels/kernel.hpp"
+#include "octree/points.hpp"
+
+namespace pkifmm::core {
+
+/// Exact potentials at `targets` due to ALL points across all ranks
+/// (gathered with an allgather — reference only, not scalable by
+/// design). Returns tdim values per target point, in target order.
+std::vector<double> direct_reference(comm::Comm& c,
+                                     const kernels::Kernel& kernel,
+                                     std::span<const octree::PointRec> targets);
+
+/// Purely local exact summation: potentials at `targets` due to
+/// `sources` (both local arrays).
+std::vector<double> direct_local(const kernels::Kernel& kernel,
+                                 std::span<const octree::PointRec> targets,
+                                 std::span<const octree::PointRec> sources);
+
+}  // namespace pkifmm::core

@@ -1,0 +1,451 @@
+#include "core/evaluator.hpp"
+
+#include <unordered_map>
+
+#include "core/surface.hpp"
+
+namespace pkifmm::core {
+
+using morton::Key;
+using octree::LetNode;
+
+namespace {
+
+std::vector<double> box_surface(const Tables& t, double radius_scale,
+                                const Key& k) {
+  const auto g = morton::box_geometry(k);
+  return surface_points(t.n(), radius_scale, g.center, g.half_width);
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const Tables& tables, const octree::Let& let,
+                     comm::RankCtx& ctx)
+    : tables_(tables), let_(let), ctx_(ctx) {
+  const std::size_t nn = let_.nodes.size();
+  u_.assign(nn * tables_.eq_len(), 0.0);
+  checkpot_.assign(nn * tables_.check_len(), 0.0);
+  d_.assign(nn * tables_.eq_len(), 0.0);
+
+  const int sd = tables_.sdim();
+  const int td = tables_.tdim();
+  f_.assign(let_.points.size() * td, 0.0);
+  pos_.resize(let_.points.size() * 3);
+  for (std::size_t i = 0; i < let_.points.size(); ++i)
+    for (int c = 0; c < 3; ++c) pos_[3 * i + c] = let_.points[i].pos[c];
+
+  // Per-node source extraction (targets and sources may be disjoint
+  // subsets of a leaf's points; see octree::PointRec::kind).
+  src_offset_.assign(let_.nodes.size() + 1, 0);
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    src_offset_[i] = src_pos_.size() / 3;
+    for (const octree::PointRec& pt : let_.points_of(let_.nodes[i])) {
+      if (!pt.is_source()) continue;
+      src_pos_.insert(src_pos_.end(), pt.pos, pt.pos + 3);
+      src_den_.insert(src_den_.end(), pt.den, pt.den + sd);
+    }
+  }
+  src_offset_[let_.nodes.size()] = src_pos_.size() / 3;
+}
+
+std::span<const double> Evaluator::leaf_source_positions(
+    std::size_t node) const {
+  return {src_pos_.data() + src_offset_[node] * 3,
+          (src_offset_[node + 1] - src_offset_[node]) * 3};
+}
+
+std::span<const double> Evaluator::leaf_source_densities(
+    std::size_t node) const {
+  const std::size_t sd = tables_.sdim();
+  return {src_den_.data() + src_offset_[node] * sd,
+          (src_offset_[node + 1] - src_offset_[node]) * sd};
+}
+
+std::span<const double> Evaluator::leaf_target_positions(
+    const LetNode& n) const {
+  return {pos_.data() + std::size_t(n.point_begin) * 3,
+          std::size_t(n.target_count) * 3};
+}
+
+std::span<double> Evaluator::leaf_target_potential(const LetNode& n) {
+  const int td = tables_.tdim();
+  return {f_.data() + std::size_t(n.point_begin) * td,
+          std::size_t(n.target_count) * td};
+}
+
+void Evaluator::run() {
+  {
+    auto t = ctx_.timer.scope("eval.s2u");
+    s2u();
+  }
+  {
+    auto t = ctx_.timer.scope("eval.u2u");
+    u2u();
+  }
+  {
+    auto t = ctx_.timer.scope("eval.comm");
+    comm_reduce();
+  }
+  {
+    auto t = ctx_.timer.scope("eval.vli");
+    vli();
+  }
+  {
+    auto t = ctx_.timer.scope("eval.xli");
+    xli();
+  }
+  {
+    auto t = ctx_.timer.scope("eval.down");
+    downward();
+  }
+  {
+    auto t = ctx_.timer.scope("eval.wli");
+    wli();
+  }
+  {
+    auto t = ctx_.timer.scope("eval.d2t");
+    d2t();
+  }
+  {
+    auto t = ctx_.timer.scope("eval.uli");
+    uli();
+  }
+}
+
+void Evaluator::s2u() {
+  const auto& kern = tables_.kernel();
+  std::vector<double> check(tables_.check_len());
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!(node.owned && node.global_leaf)) continue;
+    if (leaf_source_positions(i).empty()) continue;
+    const auto uc =
+        box_surface(tables_, tables_.options().upward_check_radius, node.key);
+    std::fill(check.begin(), check.end(), 0.0);
+    ctx_.flops.add("eval.s2u", kern.direct(uc, leaf_source_positions(i),
+                                           leaf_source_densities(i), check));
+    const LevelOps ops = tables_.at(node.key.level);
+    la::gemv_acc(*ops.uc2ue, check,
+                 std::span<double>(u_.data() + i * tables_.eq_len(),
+                                   tables_.eq_len()),
+                 ops.uc2ue_scale);
+    ctx_.flops.add("eval.s2u", la::gemv_flops(*ops.uc2ue));
+  }
+}
+
+void Evaluator::u2u() {
+  // Reverse preorder = children before parents.
+  for (std::size_t ri = let_.nodes.size(); ri-- > 0;) {
+    const LetNode& node = let_.nodes[ri];
+    if (!node.target || node.parent < 0) continue;
+    if (!let_.nodes[node.parent].target) continue;
+    const LevelOps ops = tables_.at(node.key.level - 1);
+    const la::Matrix& m = (*ops.m2m)[morton::child_index(node.key)];
+    la::gemv_acc(m,
+                 std::span<const double>(u_.data() + ri * tables_.eq_len(),
+                                         tables_.eq_len()),
+                 std::span<double>(u_.data() +
+                                       std::size_t(node.parent) *
+                                           tables_.eq_len(),
+                                   tables_.eq_len()));
+    ctx_.flops.add("eval.u2u", la::gemv_flops(m));
+  }
+}
+
+void Evaluator::comm_reduce() {
+  ctx_.comm.cost().set_phase("eval.comm");
+  reduce_upward_densities(ctx_.comm, let_, tables_.eq_len(), u_,
+                          tables_.options().reduce);
+}
+
+void Evaluator::vli() {
+  if (tables_.options().m2l == M2lMode::kDense) {
+    // Dense baseline: one gemv per (target, source) pair.
+    for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+      const LetNode& node = let_.nodes[i];
+      if (!node.target) continue;
+      const auto list = let_.v.of(i);
+      if (list.empty()) continue;
+      const LevelOps ops = tables_.at(node.key.level);
+      const auto ta = morton::anchor(node.key);
+      const auto side = morton::cell_side(node.key);
+      for (auto si : list) {
+        const auto sa = morton::anchor(let_.nodes[si].key);
+        const int dx = (static_cast<std::int64_t>(ta[0]) - sa[0]) / side;
+        const int dy = (static_cast<std::int64_t>(ta[1]) - sa[1]) / side;
+        const int dz = (static_cast<std::int64_t>(ta[2]) - sa[2]) / side;
+        const la::Matrix& m =
+            tables_.m2l_dense(node.key.level, offset_index(dx, dy, dz));
+        la::gemv_acc(m,
+                     std::span<const double>(
+                         u_.data() + std::size_t(si) * tables_.eq_len(),
+                         tables_.eq_len()),
+                     std::span<double>(
+                         checkpot_.data() + i * tables_.check_len(),
+                         tables_.check_len()),
+                     ops.m2l_scale);
+        ctx_.flops.add("eval.vli", la::gemv_flops(m));
+      }
+    }
+    return;
+  }
+
+  // FFT-diagonal translation, batched by level so per-octant spectra are
+  // kept only for the level being processed.
+  const int sd = tables_.sdim();
+  const int td = tables_.tdim();
+  const std::size_t vol = tables_.fft_volume();
+  const auto& embed = tables_.embed_index();
+  const int m = tables_.m();
+
+  int min_level = morton::kMaxDepth + 1, max_level = -1;
+  for (const LetNode& n : let_.nodes) {
+    min_level = std::min(min_level, static_cast<int>(n.key.level));
+    max_level = std::max(max_level, static_cast<int>(n.key.level));
+  }
+
+  std::vector<fft::Complex> acc(static_cast<std::size_t>(td) * vol);
+  for (int level = min_level; level <= max_level; ++level) {
+    // Sources used by some target's V-list at this level.
+    std::unordered_map<std::int32_t, std::vector<fft::Complex>> spectra;
+    for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+      if (!let_.nodes[i].target || let_.nodes[i].key.level != level) continue;
+      for (auto si : let_.v.of(i)) spectra.try_emplace(si);
+    }
+    if (spectra.empty()) continue;
+
+    // Per-octant forward FFTs of the padded equivalent densities.
+    for (auto& [si, spec] : spectra) {
+      spec.assign(static_cast<std::size_t>(sd) * vol, fft::Complex(0, 0));
+      const double* usrc = u_.data() + std::size_t(si) * tables_.eq_len();
+      for (int k = 0; k < m; ++k)
+        for (int c = 0; c < sd; ++c)
+          spec[static_cast<std::size_t>(c) * vol + embed[k]] =
+              usrc[k * sd + c];
+      for (int c = 0; c < sd; ++c)
+        tables_.fft().forward(
+            std::span<fft::Complex>(spec.data() + std::size_t(c) * vol, vol));
+      ctx_.flops.add("eval.vli", sd * tables_.fft().transform_flops());
+    }
+
+    // Diagonal translation + inverse FFT per target.
+    const LevelOps ops = tables_.at(level);
+    for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+      const LetNode& node = let_.nodes[i];
+      if (!node.target || node.key.level != level) continue;
+      const auto list = let_.v.of(i);
+      if (list.empty()) continue;
+
+      std::fill(acc.begin(), acc.end(), fft::Complex(0, 0));
+      const auto ta = morton::anchor(node.key);
+      const auto side = morton::cell_side(node.key);
+      for (auto si : list) {
+        const auto sa = morton::anchor(let_.nodes[si].key);
+        const int dx = (static_cast<std::int64_t>(ta[0]) - sa[0]) / side;
+        const int dy = (static_cast<std::int64_t>(ta[1]) - sa[1]) / side;
+        const int dz = (static_cast<std::int64_t>(ta[2]) - sa[2]) / side;
+        const auto g = tables_.m2l_spectra(level, offset_index(dx, dy, dz));
+        const auto& spec = spectra.at(si);
+        for (int ti = 0; ti < td; ++ti)
+          for (int si_c = 0; si_c < sd; ++si_c)
+            fft::pointwise_mac(
+                g.subspan(std::size_t(ti * sd + si_c) * vol, vol),
+                std::span<const fft::Complex>(
+                    spec.data() + std::size_t(si_c) * vol, vol),
+                std::span<fft::Complex>(acc.data() + std::size_t(ti) * vol,
+                                        vol));
+        ctx_.flops.add("eval.vli", 8ull * td * sd * vol);
+      }
+      for (int ti = 0; ti < td; ++ti)
+        tables_.fft().inverse(
+            std::span<fft::Complex>(acc.data() + std::size_t(ti) * vol, vol));
+      ctx_.flops.add("eval.vli", td * tables_.fft().transform_flops());
+
+      double* out = checkpot_.data() + i * tables_.check_len();
+      for (int k = 0; k < m; ++k)
+        for (int ti = 0; ti < td; ++ti)
+          out[k * td + ti] +=
+              ops.m2l_scale *
+              acc[static_cast<std::size_t>(ti) * vol + embed[k]].real();
+    }
+  }
+}
+
+void Evaluator::xli(bool include_leaves) {
+  const auto& kern = tables_.kernel();
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!node.target) continue;
+    if (!include_leaves && node.global_leaf) continue;
+    const auto list = let_.x.of(i);
+    if (list.empty()) continue;
+    const auto dc =
+        box_surface(tables_, tables_.options().down_check_radius, node.key);
+    std::span<double> out(checkpot_.data() + i * tables_.check_len(),
+                          tables_.check_len());
+    for (auto si : list) {
+      ctx_.flops.add("eval.xli",
+                     kern.direct(dc, leaf_source_positions(si),
+                                 leaf_source_densities(si), out));
+    }
+  }
+}
+
+void Evaluator::downward() {
+  // Preorder: parents are finalized before their children read them.
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!node.target) continue;
+    std::span<double> check(checkpot_.data() + i * tables_.check_len(),
+                            tables_.check_len());
+    if (node.parent >= 0 && let_.nodes[node.parent].target) {
+      const LevelOps pair_ops = tables_.at(node.key.level - 1);
+      const la::Matrix& l2l = (*pair_ops.l2l)[morton::child_index(node.key)];
+      la::gemv_acc(l2l,
+                   std::span<const double>(
+                       d_.data() + std::size_t(node.parent) * tables_.eq_len(),
+                       tables_.eq_len()),
+                   check, pair_ops.l2l_scale);
+      ctx_.flops.add("eval.down", la::gemv_flops(l2l));
+    }
+    const LevelOps ops = tables_.at(node.key.level);
+    la::gemv_acc(*ops.dc2de, check,
+                 std::span<double>(d_.data() + i * tables_.eq_len(),
+                                   tables_.eq_len()),
+                 ops.dc2de_scale);
+    ctx_.flops.add("eval.down", la::gemv_flops(*ops.dc2de));
+  }
+}
+
+void Evaluator::wli() {
+  const auto& kern = tables_.kernel();
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
+    const auto list = let_.w.of(i);
+    if (list.empty()) continue;
+    const auto trg = leaf_target_positions(node);
+    auto out = leaf_target_potential(node);
+    for (auto si : list) {
+      const auto ue = box_surface(
+          tables_, tables_.options().upward_equiv_radius, let_.nodes[si].key);
+      ctx_.flops.add(
+          "eval.wli",
+          kern.direct(trg, ue,
+                      std::span<const double>(
+                          u_.data() + std::size_t(si) * tables_.eq_len(),
+                          tables_.eq_len()),
+                      out));
+    }
+  }
+}
+
+void Evaluator::d2t() {
+  const auto& kern = tables_.kernel();
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
+    const auto de =
+        box_surface(tables_, tables_.options().down_equiv_radius, node.key);
+    ctx_.flops.add(
+        "eval.d2t",
+        kern.direct(leaf_target_positions(node), de,
+                    std::span<const double>(d_.data() + i * tables_.eq_len(),
+                                            tables_.eq_len()),
+                    leaf_target_potential(node)));
+  }
+}
+
+void Evaluator::uli() {
+  const auto& kern = tables_.kernel();
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
+    const auto trg = leaf_target_positions(node);
+    auto out = leaf_target_potential(node);
+    for (auto si : let_.u.of(i)) {
+      ctx_.flops.add("eval.uli",
+                     kern.direct(trg, leaf_source_positions(si),
+                                 leaf_source_densities(si), out));
+    }
+  }
+}
+
+std::vector<double> Evaluator::target_gradient() {
+  const auto grad = tables_.kernel().gradient();
+  PKIFMM_CHECK_MSG(grad != nullptr,
+                   "kernel '" << tables_.kernel().name()
+                              << "' has no gradient companion");
+  const int gd = grad->target_dim();
+  std::vector<double> g(let_.points.size() * gd, 0.0);
+
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
+    const auto trg = leaf_target_positions(node);
+    std::span<double> out(g.data() + std::size_t(node.point_begin) * gd,
+                          std::size_t(node.target_count) * gd);
+
+    // Direct (U-list) gradients.
+    for (auto si : let_.u.of(i)) {
+      ctx_.flops.add("grad.uli",
+                     grad->direct(trg, leaf_source_positions(si),
+                                  leaf_source_densities(si), out));
+    }
+    // W-list: gradients of the members' upward equivalent fields.
+    for (auto si : let_.w.of(i)) {
+      const auto ue = box_surface(
+          tables_, tables_.options().upward_equiv_radius, let_.nodes[si].key);
+      ctx_.flops.add(
+          "grad.wli",
+          grad->direct(trg, ue,
+                       std::span<const double>(
+                           u_.data() + std::size_t(si) * tables_.eq_len(),
+                           tables_.eq_len()),
+                       out));
+    }
+    // Far field (V + X + coarser levels) through the box's downward
+    // equivalent density.
+    const auto de =
+        box_surface(tables_, tables_.options().down_equiv_radius, node.key);
+    ctx_.flops.add(
+        "grad.d2t",
+        grad->direct(trg, de,
+                     std::span<const double>(d_.data() + i * tables_.eq_len(),
+                                             tables_.eq_len()),
+                     out));
+  }
+  return g;
+}
+
+std::vector<double> leaf_work_estimates(const Tables& tables,
+                                        const octree::Let& let) {
+  const std::uint64_t kflops = tables.kernel().flops_per_interaction();
+  const int m = tables.m();
+
+  // Source counts per node (targets and sources may differ per point).
+  std::vector<double> nsrc(let.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < let.nodes.size(); ++i)
+    for (const octree::PointRec& pt : let.points_of(let.nodes[i]))
+      if (pt.is_source()) nsrc[i] += 1.0;
+
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+    const octree::LetNode& node = let.nodes[i];
+    if (!(node.owned && node.global_leaf)) continue;
+    const double ntrg = node.target_count;
+    double w = 0.0;
+    for (auto si : let.u.of(i)) w += ntrg * nsrc[si] * kflops;
+    // V: per-pair diagonal multiply on the padded grid.
+    w += double(let.v.of(i).size()) * 8.0 * tables.fft_volume() *
+         tables.sdim() * tables.tdim();
+    w += double(let.w.of(i).size()) * ntrg * m * kflops;
+    for (auto si : let.x.of(i)) w += nsrc[si] * m * kflops;
+    // S2U + D2T per-leaf work.
+    w += (nsrc[i] + ntrg) * m * kflops;
+    weights.push_back(w);
+  }
+  return weights;
+}
+
+}  // namespace pkifmm::core

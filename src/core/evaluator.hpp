@@ -1,0 +1,96 @@
+#pragma once
+/// \file evaluator.hpp
+/// \brief The per-rank FMM evaluation engine (paper Algorithm 1 over
+/// the local essential tree).
+///
+/// Pipeline (dependencies as in §II-A of the paper):
+///   S2U -> U2U -> [reduce/scatter comm] -> {VLI, XLI} -> D2D+convert
+///   -> {WLI, D2T};  ULI (direct interactions) is independent.
+///
+/// State vectors, all node-major and point-major within a node:
+///   u        — upward equivalent densities   (nodes x m*sdim)
+///   checkpot — downward check potentials     (nodes x m*tdim)
+///   d        — downward equivalent densities (nodes x m*sdim)
+///   f        — target potentials, aligned with Let::points
+///              (points x tdim; valid for owned leaves)
+///
+/// The V-list translation is either FFT-diagonal (per-octant forward
+/// FFTs batched by level, pointwise multiply per pair, inverse FFT per
+/// target — the paper's scheme) or dense (ablation baseline).
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/reduce.hpp"
+#include "core/tables.hpp"
+#include "octree/let.hpp"
+
+namespace pkifmm::core {
+
+class Evaluator {
+ public:
+  Evaluator(const Tables& tables, const octree::Let& let, comm::RankCtx& ctx);
+
+  /// Runs the full pipeline with per-phase timing/flop accounting.
+  void run();
+
+  /// Target potentials aligned with Let::points (tdim per point).
+  std::span<const double> potential() const { return f_; }
+
+  /// Gradient of the potential at the owned targets (3 values per
+  /// point, aligned with Let::points), evaluated AFTER run() by
+  /// re-applying the direct-type operators with the kernel's gradient
+  /// companion: grad f = sum_U grad-K s + sum_W grad-K u + grad-K(de) d.
+  /// The V/X far-field contributions are already folded into d. Only
+  /// kernels with a gradient() companion support this (Laplace,
+  /// Yukawa). This is an extension beyond the paper, which evaluates
+  /// potentials only.
+  std::vector<double> target_gradient();
+
+  // Individual phases, public for focused tests and for the GPU engine
+  // which substitutes some of them.
+  void s2u();
+  void u2u();
+  void comm_reduce();
+  void vli();
+  /// X-list accumulation. include_leaves=false restricts to non-leaf
+  /// targets (used by the GPU engine, which handles leaf targets on the
+  /// device).
+  void xli(bool include_leaves = true);
+  void downward();
+  void wli();
+  void d2t();
+  void uli();
+
+  std::span<const double> u() const { return u_; }
+  std::span<double> u_mutable() { return u_; }
+  std::span<const double> checkpot() const { return checkpot_; }
+  std::span<double> checkpot_mutable() { return checkpot_; }
+  std::span<const double> d() const { return d_; }
+  std::span<double> potential_mutable() { return f_; }
+
+ private:
+  /// Source points/densities of a node (points with the kSource role).
+  std::span<const double> leaf_source_positions(std::size_t node) const;
+  std::span<const double> leaf_source_densities(std::size_t node) const;
+  /// Target points of a node (the leading target_count points).
+  std::span<const double> leaf_target_positions(const octree::LetNode& n) const;
+  std::span<double> leaf_target_potential(const octree::LetNode& n);
+
+  const Tables& tables_;
+  const octree::Let& let_;
+  comm::RankCtx& ctx_;
+
+  std::vector<double> u_, checkpot_, d_, f_;
+  std::vector<double> pos_;                 ///< flattened Let::points coords
+  std::vector<double> src_pos_, src_den_;   ///< per-node filtered sources
+  std::vector<std::size_t> src_offset_;     ///< nodes+1, into src_pos_/3
+};
+
+/// Per-owned-leaf work estimates in model flops (paper §III-B: weights
+/// from the U/V/W/X lists), aligned with the Morton order of owned
+/// leaves. Used to drive load_balance().
+std::vector<double> leaf_work_estimates(const Tables& tables,
+                                        const octree::Let& let);
+
+}  // namespace pkifmm::core

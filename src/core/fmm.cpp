@@ -1,0 +1,106 @@
+#include "core/fmm.hpp"
+
+#include <unordered_map>
+
+#include "octree/balance.hpp"
+
+namespace pkifmm::core {
+
+void ParallelFmm::setup(std::vector<octree::PointRec> points) {
+  const FmmOptions& opts = tables_.options();
+  octree::BuildParams bp;
+  bp.max_points_per_leaf = opts.max_points_per_leaf;
+  bp.max_level = opts.max_level;
+
+  ctx_.comm.cost().set_phase("setup.tree");
+  octree::OwnedTree tree;
+  {
+    auto t = ctx_.timer.scope("setup.tree");
+    tree = octree::build_distributed_tree(ctx_.comm, std::move(points), bp);
+  }
+
+  if (opts.balance_2to1) {
+    ctx_.comm.cost().set_phase("setup.b21");
+    auto t = ctx_.timer.scope("setup.b21");
+    (void)octree::balance_2to1(ctx_.comm, tree);
+  }
+
+  ctx_.comm.cost().set_phase("setup.let");
+  {
+    auto t = ctx_.timer.scope("setup.let");
+    let_ = std::make_unique<octree::Let>(octree::build_let(ctx_.comm, tree));
+    octree::build_interaction_lists(*let_);
+  }
+
+  if (opts.load_balance && ctx_.comm.size() > 1) {
+    ctx_.comm.cost().set_phase("setup.balance");
+    auto t = ctx_.timer.scope("setup.balance");
+    const auto weights = leaf_work_estimates(tables_, *let_);
+    tree = octree::load_balance(ctx_.comm, std::move(tree), weights);
+    let_ = std::make_unique<octree::Let>(octree::build_let(ctx_.comm, tree));
+    octree::build_interaction_lists(*let_);
+  }
+}
+
+void ParallelFmm::set_densities(const std::vector<std::uint64_t>& gids,
+                                const std::vector<double>& densities) {
+  PKIFMM_CHECK(let_ != nullptr);
+  const int sd = tables_.sdim();
+  PKIFMM_CHECK(densities.size() == gids.size() * static_cast<std::size_t>(sd));
+  std::unordered_map<std::uint64_t, std::size_t> by_gid;
+  by_gid.reserve(gids.size());
+  for (std::size_t i = 0; i < gids.size(); ++i) by_gid.emplace(gids[i], i);
+
+  for (octree::LetNode& node : let_->nodes) {
+    if (!node.owned) continue;
+    for (octree::PointRec& pt : let_->points_of(node)) {
+      auto it = by_gid.find(pt.gid);
+      PKIFMM_CHECK_MSG(it != by_gid.end(),
+                       "set_densities missing gid " << pt.gid);
+      for (int c = 0; c < sd; ++c)
+        pt.den[c] = densities[it->second * sd + c];
+    }
+  }
+  densities_dirty_ = true;
+}
+
+ParallelFmm::Result ParallelFmm::evaluate(bool with_gradient) {
+  PKIFMM_CHECK_MSG(let_ != nullptr, "setup() must run before evaluate()");
+  ctx_.comm.cost().set_phase("eval.comm");
+  if (densities_dirty_) {
+    auto t = ctx_.timer.scope("eval.comm");
+    octree::refresh_ghost_densities(ctx_.comm, *let_);
+    densities_dirty_ = false;
+  }
+
+  Evaluator eval(tables_, *let_, ctx_);
+  eval.run();
+
+  std::vector<double> grad;
+  if (with_gradient) {
+    auto t = ctx_.timer.scope("eval.grad");
+    grad = eval.target_gradient();
+  }
+
+  Result out;
+  const int td = tables_.tdim();
+  const auto f = eval.potential();
+  for (const octree::LetNode& node : let_->nodes) {
+    if (!(node.owned && node.global_leaf)) continue;
+    const auto pts = let_->points_of(node);
+    // Potentials exist only for the leading target points of each leaf.
+    for (std::size_t k = 0; k < node.target_count; ++k) {
+      out.gids.push_back(pts[k].gid);
+      const std::size_t base = (node.point_begin + k) * td;
+      for (int c = 0; c < td; ++c) out.potentials.push_back(f[base + c]);
+      if (with_gradient) {
+        const std::size_t gbase = (node.point_begin + k) * 3;
+        for (int c = 0; c < 3; ++c)
+          out.gradients.push_back(grad[gbase + c]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pkifmm::core

@@ -1,0 +1,68 @@
+#pragma once
+/// \file fmm.hpp
+/// \brief The public entry point: distributed adaptive kernel-
+/// independent FMM (the paper's full system).
+///
+/// Usage (SPMD, inside comm::Runtime::run):
+///
+///   core::FmmOptions opts;
+///   core::Tables tables(kernel, opts);        // shared, build once
+///   core::ParallelFmm fmm(ctx, tables);
+///   fmm.setup(std::move(my_points));          // tree + LET + balance
+///   auto result = fmm.evaluate();             // potentials by gid
+///
+/// setup() performs the paper's setup phase: Morton sample-sort and
+/// distributed tree construction (§III-A), LET + interaction lists
+/// (Algorithm 2), and optional work-weighted repartitioning followed by
+/// an LET rebuild (§III-B). evaluate() runs Algorithm 1 with the
+/// hypercube reduce-scatter (Algorithm 3) and can be called repeatedly
+/// with updated densities (set_densities).
+
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/tables.hpp"
+#include "octree/partition.hpp"
+
+namespace pkifmm::core {
+
+class ParallelFmm {
+ public:
+  ParallelFmm(comm::RankCtx& ctx, const Tables& tables)
+      : ctx_(ctx), tables_(tables) {}
+
+  /// Builds the distributed tree, the LET and the interaction lists;
+  /// repartitions by work if options().load_balance. Points carry their
+  /// initial densities.
+  void setup(std::vector<octree::PointRec> points);
+
+  /// Updates the densities of owned points (matched by gid; the map
+  /// must cover every owned point). Ghost copies are refreshed lazily
+  /// at the next evaluate().
+  void set_densities(const std::vector<std::uint64_t>& gids,
+                     const std::vector<double>& densities);
+
+  /// Potentials for the points owned by this rank, keyed by gid.
+  struct Result {
+    std::vector<std::uint64_t> gids;
+    std::vector<double> potentials;  ///< tdim values per gid
+    std::vector<double> gradients;   ///< 3 values per gid (if requested)
+  };
+
+  /// Runs the evaluation phase (Algorithm 1 + Algorithm 3). With
+  /// with_gradient, also returns grad(potential) per point — requires a
+  /// kernel with a gradient companion (Laplace, Yukawa).
+  Result evaluate(bool with_gradient = false);
+
+  const octree::Let& let() const { return *let_; }
+  const Tables& tables() const { return tables_; }
+
+ private:
+  comm::RankCtx& ctx_;
+  const Tables& tables_;
+  std::unique_ptr<octree::Let> let_;
+  bool densities_dirty_ = false;
+};
+
+}  // namespace pkifmm::core

@@ -1,0 +1,58 @@
+#pragma once
+/// \file options.hpp
+/// \brief User-facing configuration of the parallel KIFMM.
+
+#include <cstdint>
+
+#include "morton/key.hpp"
+
+namespace pkifmm::core {
+
+/// How the V-list (M2L) translation is applied.
+enum class M2lMode {
+  kFft,    ///< FFT-diagonal translation (the paper's scheme, §IV)
+  kDense,  ///< precomputed dense matrices (baseline for the ablation)
+};
+
+/// How complete upward densities are assembled across ranks.
+enum class ReduceMode {
+  kHypercube,  ///< paper Algorithm 3 (requires power-of-two ranks)
+  kOwner,      ///< per-octant owner reduction (the paper's *old* scheme)
+};
+
+struct FmmOptions {
+  /// Surface lattice parameter n: equivalent/check surfaces carry
+  /// n^3 - (n-2)^3 points. 4 = low accuracy, 6 = medium, 8 = high.
+  int surface_n = 6;
+
+  /// q — maximum points per leaf octant.
+  int max_points_per_leaf = 100;
+
+  /// Refinement cap (duplicate-point safety net).
+  int max_level = morton::kMaxDepth;
+
+  M2lMode m2l = M2lMode::kFft;
+  ReduceMode reduce = ReduceMode::kHypercube;
+
+  /// Work-weighted leaf repartitioning after the first LET build
+  /// (paper §III-B). Disable for the ablation bench.
+  bool load_balance = true;
+
+  /// 2:1 balance refinement of the octree after construction (the
+  /// DENDRO substrate feature of the paper's reference [16]). The FMM
+  /// does not require it — the paper's trees span 20+ levels of
+  /// contrast — but it bounds U/W/X list sizes; off by default to match
+  /// the paper's configuration.
+  bool balance_2to1 = false;
+
+  /// Surface radii relative to the box half-width (Ying et al. 2004).
+  double upward_equiv_radius = 1.05;
+  double upward_check_radius = 2.95;
+  double down_equiv_radius = 2.95;
+  double down_check_radius = 1.05;
+
+  /// Relative singular-value cutoff for the equivalent-density solves.
+  double pinv_cutoff = 1e-12;
+};
+
+}  // namespace pkifmm::core

@@ -1,0 +1,52 @@
+#include "core/surface.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace pkifmm::core {
+
+int surface_point_count(int n) {
+  PKIFMM_CHECK(n >= 2);
+  const int inner = n - 2;
+  return n * n * n - inner * inner * inner;
+}
+
+const std::vector<std::array<int, 3>>& surface_lattice(int n) {
+  static std::mutex mu;
+  static std::map<int, std::vector<std::array<int, 3>>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+
+  std::vector<std::array<int, 3>> pts;
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        if (i == 0 || i == n - 1 || j == 0 || j == n - 1 || k == 0 ||
+            k == n - 1)
+          pts.push_back({i, j, k});
+  PKIFMM_CHECK(static_cast<int>(pts.size()) == surface_point_count(n));
+  return cache.emplace(n, std::move(pts)).first->second;
+}
+
+std::vector<double> surface_points(int n, double radius_scale,
+                                   const std::array<double, 3>& center,
+                                   double half_width) {
+  const auto& lattice = surface_lattice(n);
+  const double r = radius_scale * half_width;
+  std::vector<double> out;
+  out.reserve(3 * lattice.size());
+  for (const auto& idx : lattice)
+    for (int d = 0; d < 3; ++d)
+      out.push_back(center[d] +
+                    r * (-1.0 + 2.0 * idx[d] / static_cast<double>(n - 1)));
+  return out;
+}
+
+double surface_spacing(int n, double radius_scale, double half_width) {
+  return 2.0 * radius_scale * half_width / static_cast<double>(n - 1);
+}
+
+}  // namespace pkifmm::core

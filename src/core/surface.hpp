@@ -1,0 +1,35 @@
+#pragma once
+/// \file surface.hpp
+/// \brief Equivalent/check surface discretization.
+///
+/// KIFMM represents far-field (u) and local-field (d) information as
+/// single-layer densities on cube surfaces around each octant. pkifmm
+/// discretizes a surface as the boundary points of an n x n x n lattice
+/// scaled to half-width radius_scale * r around the box center. The
+/// lattice structure (rather than, say, Gauss points) is what makes the
+/// V-list translation a lattice convolution and hence FFT-diagonal.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace pkifmm::core {
+
+/// Number of surface points of the n^3 lattice: n^3 - (n-2)^3.
+int surface_point_count(int n);
+
+/// Lattice coordinates (i,j,k) in [0,n)^3 of each surface point, in a
+/// fixed deterministic order shared by all surface functions.
+const std::vector<std::array<int, 3>>& surface_lattice(int n);
+
+/// xyz-interleaved physical coordinates of the surface points for a box
+/// with the given center and half-width: point p sits at
+///   center + radius_scale * half_width * (-1 + 2 i_p / (n-1)).
+std::vector<double> surface_points(int n, double radius_scale,
+                                   const std::array<double, 3>& center,
+                                   double half_width);
+
+/// Lattice spacing of that surface: 2 * radius_scale * half_width / (n-1).
+double surface_spacing(int n, double radius_scale, double half_width);
+
+}  // namespace pkifmm::core

@@ -1,0 +1,107 @@
+#include "fft/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace pkifmm::fft {
+
+namespace {
+
+bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+void fft_inplace(std::span<Complex> a, bool inverse) {
+  const std::size_t n = a.size();
+  PKIFMM_CHECK_MSG(is_pow2(n), "FFT size must be a power of two, got " << n);
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  // Iterative Cooley-Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv;
+  }
+}
+
+Fft3d::Fft3d(std::size_t n) : n_(n) {
+  PKIFMM_CHECK_MSG(is_pow2(n), "Fft3d size must be a power of two, got " << n);
+  log2n_ = std::countr_zero(n);
+}
+
+void Fft3d::transform(std::span<Complex> vol, bool inverse) const {
+  PKIFMM_CHECK(vol.size() == volume());
+  const std::size_t n = n_;
+  std::vector<Complex> line(n);
+
+  // x-lines are contiguous.
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      fft_inplace(vol.subspan((z * n + y) * n, n), inverse);
+
+  // y-lines: stride n.
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t y = 0; y < n; ++y) line[y] = vol[(z * n + y) * n + x];
+      fft_inplace(line, inverse);
+      for (std::size_t y = 0; y < n; ++y) vol[(z * n + y) * n + x] = line[y];
+    }
+
+  // z-lines: stride n^2.
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t z = 0; z < n; ++z) line[z] = vol[(z * n + y) * n + x];
+      fft_inplace(line, inverse);
+      for (std::size_t z = 0; z < n; ++z) vol[(z * n + y) * n + x] = line[z];
+    }
+}
+
+void Fft3d::forward(std::span<Complex> vol) const { transform(vol, false); }
+
+void Fft3d::inverse(std::span<Complex> vol) const { transform(vol, true); }
+
+std::uint64_t Fft3d::transform_flops() const {
+  // 3 passes of n^2 one-dimensional transforms, 5 n log2 n flops each.
+  const std::uint64_t one_d = 5ull * n_ * static_cast<std::uint64_t>(log2n_);
+  return 3ull * n_ * n_ * one_d;
+}
+
+std::size_t next_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+void pointwise_mac(std::span<const Complex> g, std::span<const Complex> f,
+                   std::span<Complex> acc) {
+  PKIFMM_CHECK(g.size() == f.size() && f.size() == acc.size());
+  for (std::size_t i = 0; i < g.size(); ++i) acc[i] += g[i] * f[i];
+}
+
+}  // namespace pkifmm::fft

@@ -1,0 +1,59 @@
+#pragma once
+/// \file fft.hpp
+/// \brief Radix-2 FFTs and 3-D circular convolution.
+///
+/// The paper's V-list translation is diagonalized by FFT: equivalent
+/// densities live on the surface points of a regular lattice, so the
+/// check-potential evaluation is a lattice convolution. pkifmm pads the
+/// lattice to the next power of two >= 2n-1 (making the circular
+/// convolution exact) and uses an iterative radix-2 transform; FFTW is
+/// deliberately not a dependency (unavailable substrate, see DESIGN.md).
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pkifmm::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place power-of-two complex FFT. inverse=true applies the inverse
+/// transform including the 1/n normalization.
+void fft_inplace(std::span<Complex> a, bool inverse);
+
+/// Plan-like object for n x n x n complex transforms (n a power of two).
+/// Precomputes twiddle factors; forward/inverse operate in place on a
+/// volume stored as v[(z*n + y)*n + x].
+class Fft3d {
+ public:
+  explicit Fft3d(std::size_t n);
+
+  std::size_t n() const { return n_; }
+  std::size_t volume() const { return n_ * n_ * n_; }
+
+  void forward(std::span<Complex> vol) const;
+  /// Inverse including the 1/n^3 normalization.
+  void inverse(std::span<Complex> vol) const;
+
+  /// Flops of one 3-D transform (5 n log2 n per 1-D transform, the
+  /// standard complex-FFT flop model).
+  std::uint64_t transform_flops() const;
+
+ private:
+  void transform(std::span<Complex> vol, bool inverse) const;
+
+  std::size_t n_;
+  int log2n_;
+};
+
+/// Smallest power of two >= x.
+std::size_t next_pow2(std::size_t x);
+
+/// Pointwise multiply-accumulate in frequency space:
+/// acc[i] += g[i] * f[i]. This is the "diagonal translation" the paper
+/// runs on the GPU.
+void pointwise_mac(std::span<const Complex> g, std::span<const Complex> f,
+                   std::span<Complex> acc);
+
+}  // namespace pkifmm::fft

@@ -1,0 +1,42 @@
+#pragma once
+/// \file autotune.hpp
+/// \brief Points-per-box autotuning (paper §V, Table III: "This
+/// resembles the tuning phase and can be part of an autotuning
+/// algorithm").
+///
+/// The optimal q trades the U-list (GPU-friendly, grows with q) against
+/// the V-list and per-box overheads (shrink with q). autotune_q runs a
+/// pilot evaluation on a sample of the points for each candidate q and
+/// returns the one with the smallest modeled evaluation time (device
+/// roofline + host work at the CostModel CPU rate).
+///
+/// Call it *outside* any SPMD region; it spawns its own single-rank
+/// runtime per candidate.
+
+#include <map>
+#include <span>
+
+#include "comm/cost.hpp"
+#include "core/tables.hpp"
+#include "gpu/device.hpp"
+#include "octree/points.hpp"
+
+namespace pkifmm::gpu {
+
+struct AutotuneResult {
+  int best_q = 0;
+  /// Modeled evaluation seconds per candidate (on the pilot sample).
+  std::map<int, double> modeled_seconds;
+};
+
+/// Evaluates each candidate q on `sample` (a representative subset of
+/// the real points; densities are ignored) and returns the best. The
+/// base tables supply kernel/accuracy geometry; candidates must be
+/// positive. `spec`/`model` configure the device and CPU rates.
+AutotuneResult autotune_q(const core::Tables& base_tables,
+                          std::span<const octree::PointRec> sample,
+                          std::span<const int> candidates,
+                          const DeviceSpec& spec = {},
+                          const comm::CostModel& model = {});
+
+}  // namespace pkifmm::gpu

@@ -1,0 +1,43 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+
+namespace pkifmm::gpu {
+
+void StreamDevice::launch(const std::string& name, std::size_t grid,
+                          int block_size,
+                          const std::function<void(BlockCtx&)>& fn) {
+  PKIFMM_CHECK(block_size > 0);
+  std::uint64_t flops = 0, bytes = 0;
+  BlockCtx ctx(0, block_size);
+  ctx.penalty_ = spec_.uncoalesced_penalty;
+  for (std::size_t b = 0; b < grid; ++b) {
+    ctx.block_ = b;
+    fn(ctx);
+  }
+  flops = ctx.recorded_flops();
+  bytes = ctx.recorded_bytes();
+
+  KernelStats& ks = kernels_[name];
+  ++ks.launches;
+  ks.flops += flops;
+  ks.gmem_bytes += bytes;
+  ks.modeled_seconds +=
+      spec_.kernel_launch_s +
+      std::max(static_cast<double>(flops) / spec_.flop_rate,
+               static_cast<double>(bytes) / spec_.gmem_bandwidth);
+}
+
+double StreamDevice::modeled_seconds() const {
+  double total = transfer_seconds_;
+  for (const auto& [name, ks] : kernels_) total += ks.modeled_seconds;
+  return total;
+}
+
+void StreamDevice::reset_stats() {
+  kernels_.clear();
+  transfer_bytes_ = 0;
+  transfer_seconds_ = 0.0;
+}
+
+}  // namespace pkifmm::gpu

@@ -1,0 +1,56 @@
+#pragma once
+/// \file evaluator.hpp
+/// \brief GPU-accelerated FMM evaluation (paper §IV).
+///
+/// Mirrors core::Evaluator but offloads the phases the paper
+/// accelerates — S2U, ULI, D2T and the diagonal V-list translation —
+/// to the streaming device; U2U, D2D, WLI, XLI and the per-octant FFTs
+/// stay on the CPU, exactly as in the paper ("the U2U and D2D
+/// traversals and XLI, WLI remain sequential"; "the per-octant FFTs are
+/// done in the CPU and the diagonal translation ... in the GPU").
+/// The LET -> SoA translation is timed under "gpu.translate" so the
+/// paper's "translation cost is minor" claim can be checked.
+
+#include "core/evaluator.hpp"
+#include "gpu/device.hpp"
+#include "gpu/kernels.hpp"
+#include "gpu/soa.hpp"
+
+namespace pkifmm::gpu {
+
+class GpuEvaluator {
+ public:
+  /// `block` is the CUDA thread-block size b of Algorithm 4.
+  /// `offload_wx` additionally runs the W- and X-list interactions on
+  /// the device — the extension the paper lists as ongoing work ("our
+  /// ongoing work includes transferring the W,X-lists on the GPU");
+  /// off by default to mirror the published configuration.
+  GpuEvaluator(const core::Tables& tables, const octree::Let& let,
+               comm::RankCtx& ctx, StreamDevice& dev, int block = 64,
+               bool offload_wx = false);
+
+  void run();
+
+  std::span<const double> potential() const { return cpu_.potential(); }
+  const GpuLet& gpu_let() const { return gpu_let_; }
+
+ private:
+  void s2u_gpu();
+  void vli_gpu();
+  void d2t_gpu();
+  void uli_gpu();
+  void wli_gpu();
+  void xli_gpu();
+
+  const core::Tables& tables_;
+  const octree::Let& let_;
+  comm::RankCtx& ctx_;
+  StreamDevice& dev_;
+  core::Evaluator cpu_;
+  GpuLet gpu_let_;
+  Workspace ws_;
+  std::vector<float> unit_;  ///< unit surface lattice (3m floats)
+  bool offload_wx_;
+};
+
+}  // namespace pkifmm::gpu

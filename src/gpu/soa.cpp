@@ -1,0 +1,131 @@
+#include "gpu/soa.hpp"
+
+#include <unordered_map>
+
+namespace pkifmm::gpu {
+
+std::size_t GpuLet::footprint_bytes() const {
+  std::size_t total = 0;
+  total += (sx.size() + sy.size() + sz.size() + sq.size()) * sizeof(float);
+  total += (tx.size() + ty.size() + tz.size()) * sizeof(float);
+  total += boxes.size() * sizeof(Box);
+  total += (chunk_box.size() + chunk_trg.size()) * sizeof(std::int32_t);
+  total += (seg_src_begin.size() + seg_src_count.size()) * sizeof(std::int32_t);
+  total +=
+      (xseg_src_begin.size() + xseg_src_count.size()) * sizeof(std::int32_t);
+  total += (wseg_slot.size() + wsrc_node.size()) * sizeof(std::int32_t);
+  total += (wsrc_cx.size() + wsrc_cy.size() + wsrc_cz.size() +
+            wsrc_hw.size()) * sizeof(float);
+  return total;
+}
+
+GpuLet build_gpu_let(const core::Tables& tables, const octree::Let& let,
+                     int block) {
+  PKIFMM_CHECK_MSG(tables.sdim() == 1 && tables.tdim() == 1,
+                   "GPU path supports scalar kernels only (paper §V uses "
+                   "Laplace on the GPU)");
+  PKIFMM_CHECK(block > 0);
+
+  GpuLet g;
+  g.block = block;
+  g.m = tables.m();
+  std::unordered_map<std::int32_t, std::int32_t> wslot_of;
+
+  // Flat source arrays: every global leaf's source points once, in
+  // node order (target-only points carry no density and are skipped).
+  std::unordered_map<std::int32_t, std::pair<std::int32_t, std::int32_t>>
+      src_span_of;  // node -> (begin, count)
+  for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+    const octree::LetNode& n = let.nodes[i];
+    if (!n.global_leaf || n.point_count == 0) continue;
+    const auto begin = static_cast<std::int32_t>(g.sx.size());
+    for (const octree::PointRec& pt : let.points_of(n)) {
+      if (!pt.is_source()) continue;
+      g.sx.push_back(static_cast<float>(pt.pos[0]));
+      g.sy.push_back(static_cast<float>(pt.pos[1]));
+      g.sz.push_back(static_cast<float>(pt.pos[2]));
+      g.sq.push_back(static_cast<float>(pt.den[0]));
+    }
+    src_span_of[static_cast<std::int32_t>(i)] = {
+        begin, static_cast<std::int32_t>(g.sx.size()) - begin};
+  }
+
+  // Target boxes: owned leaves, padded to multiples of the block size.
+  // Source-only leaves still get a box (with no target chunks) so the
+  // S2U kernel covers them.
+  for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+    const octree::LetNode& n = let.nodes[i];
+    if (!(n.owned && n.global_leaf) || n.point_count == 0) continue;
+    GpuLet::Box box;
+    box.let_node = static_cast<std::int32_t>(i);
+    box.trg_begin = static_cast<std::int32_t>(g.tx.size());
+    box.count = static_cast<std::int32_t>(n.target_count);
+    box.let_point_begin = n.point_begin;
+    const auto geom = morton::box_geometry(n.key);
+    box.cx = static_cast<float>(geom.center[0]);
+    box.cy = static_cast<float>(geom.center[1]);
+    box.cz = static_cast<float>(geom.center[2]);
+    box.hw = static_cast<float>(geom.half_width);
+    const auto [sb, sc] = src_span_of.at(box.let_node);
+    box.src_begin = sb;
+    box.src_count = sc;
+
+    const auto pts = let.points_of(n);
+    const int padded = (box.count + block - 1) / block * block;
+    for (int k = 0; k < padded; ++k) {
+      // Pad with the first target so pad lanes stay harmless.
+      const octree::PointRec& pt =
+          pts[std::min<std::size_t>(k, box.count - 1)];
+      g.tx.push_back(static_cast<float>(pt.pos[0]));
+      g.ty.push_back(static_cast<float>(pt.pos[1]));
+      g.tz.push_back(static_cast<float>(pt.pos[2]));
+    }
+    for (int c = 0; c < padded / block; ++c) {
+      g.chunk_box.push_back(static_cast<std::int32_t>(g.boxes.size()));
+      g.chunk_trg.push_back(box.trg_begin + c * block);
+    }
+
+    box.seg_begin = static_cast<std::int32_t>(g.seg_src_begin.size());
+    for (auto ui : let.u.of(i)) {
+      const auto [usb, usc] = src_span_of.at(ui);
+      if (usc == 0) continue;
+      g.seg_src_begin.push_back(usb);
+      g.seg_src_count.push_back(usc);
+    }
+    box.seg_end = static_cast<std::int32_t>(g.seg_src_begin.size());
+
+    // X-list: source leaves whose points act on this box's
+    // downward-check surface.
+    box.xseg_begin = static_cast<std::int32_t>(g.xseg_src_begin.size());
+    for (auto xi : let.x.of(i)) {
+      const auto [xsb, xsc] = src_span_of.at(xi);
+      if (xsc == 0) continue;
+      g.xseg_src_begin.push_back(xsb);
+      g.xseg_src_count.push_back(xsc);
+    }
+    box.xseg_end = static_cast<std::int32_t>(g.xseg_src_begin.size());
+
+    // W-list: octants whose upward equivalent densities act directly on
+    // this box's targets (deduplicated into slots).
+    box.wseg_begin = static_cast<std::int32_t>(g.wseg_slot.size());
+    for (auto wi : let.w.of(i)) {
+      auto [it, inserted] =
+          wslot_of.try_emplace(wi, static_cast<std::int32_t>(g.wsrc_node.size()));
+      if (inserted) {
+        g.wsrc_node.push_back(wi);
+        const auto geom = morton::box_geometry(let.nodes[wi].key);
+        g.wsrc_cx.push_back(static_cast<float>(geom.center[0]));
+        g.wsrc_cy.push_back(static_cast<float>(geom.center[1]));
+        g.wsrc_cz.push_back(static_cast<float>(geom.center[2]));
+        g.wsrc_hw.push_back(static_cast<float>(geom.half_width));
+      }
+      g.wseg_slot.push_back(it->second);
+    }
+    box.wseg_end = static_cast<std::int32_t>(g.wseg_slot.size());
+
+    g.boxes.push_back(box);
+  }
+  return g;
+}
+
+}  // namespace pkifmm::gpu

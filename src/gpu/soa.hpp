@@ -1,0 +1,83 @@
+#pragma once
+/// \file soa.hpp
+/// \brief LET -> streaming data-structure translation (paper §IV).
+///
+/// The evaluation phase uses three representations: linear arrays for
+/// tree construction, pointers for the LET, and a streaming-friendly
+/// SoA layout for the GPU. This file implements the third: target
+/// boxes are padded to the next multiple of the thread-block size b and
+/// cut into one-chunk-per-block pieces; leaf source points are laid out
+/// once in flat x/y/z/density arrays; each target box carries the
+/// (begin, count) segments of its U-list sources. The translation cost
+/// is measured by the caller — the paper's claim is that it is minor.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tables.hpp"
+#include "octree/let.hpp"
+
+namespace pkifmm::gpu {
+
+struct GpuLet {
+  int block = 64;   ///< thread-block size b
+  int m = 0;        ///< surface point count
+
+  // --- Sources: every global-leaf point once, single precision SoA.
+  std::vector<float> sx, sy, sz, sq;
+
+  // --- Target boxes (owned leaves).
+  struct Box {
+    std::int32_t let_node;        ///< index into Let::nodes
+    std::int32_t trg_begin;       ///< first padded target slot
+    std::int32_t count;           ///< real target count
+    std::uint32_t let_point_begin;///< for scatter-back into Let order
+    float cx, cy, cz, hw;         ///< geometry for S2U/D2T
+    std::int32_t src_begin;       ///< own sources in the source arrays
+    std::int32_t src_count;       ///< own source count (S2U loop bound)
+    std::int32_t seg_begin, seg_end;  ///< U-list segments (CSR)
+    std::int32_t xseg_begin = 0, xseg_end = 0;  ///< X-list segments (CSR)
+    std::int32_t wseg_begin = 0, wseg_end = 0;  ///< W-list slots (CSR)
+  };
+  std::vector<Box> boxes;
+
+  // --- Padded targets (concatenated over boxes; pad slots repeat the
+  // box's first point so they do no harm and stay coalesced).
+  std::vector<float> tx, ty, tz;
+
+  // --- One chunk of `block` targets per device block.
+  std::vector<std::int32_t> chunk_box;  ///< chunk -> box index
+  std::vector<std::int32_t> chunk_trg;  ///< chunk -> first padded target slot
+
+  // --- U-list source segments.
+  std::vector<std::int32_t> seg_src_begin, seg_src_count;
+
+  // --- X-list source segments (the paper's "ongoing work": W/X on the
+  // GPU). Same layout as the U segments; the interaction targets are
+  // the downward-check surface points instead of the box's particles.
+  std::vector<std::int32_t> xseg_src_begin, xseg_src_count;
+
+  // --- W-list sources: deduplicated W-member octants. Per slot: the
+  // LET node (for fetching its upward density) and its geometry (the
+  // equivalent-surface points are synthesized from the constant unit
+  // lattice, as in S2U/D2T).
+  std::vector<std::int32_t> wseg_slot;   ///< per-box CSR of slots
+  std::vector<std::int32_t> wsrc_node;   ///< slot -> LET node
+  std::vector<float> wsrc_cx, wsrc_cy, wsrc_cz, wsrc_hw;
+
+  std::size_t padded_targets() const { return tx.size(); }
+  std::size_t chunks() const { return chunk_box.size(); }
+
+  /// Host-side memory footprint of the translated structure in bytes
+  /// (the paper notes the translation has "a somewhat high memory
+  /// footprint").
+  std::size_t footprint_bytes() const;
+};
+
+/// Builds the streaming layout from the LET. Only scalar kernels are
+/// supported on the GPU path (the paper's GPU experiments use the
+/// Laplace kernel).
+GpuLet build_gpu_let(const core::Tables& tables, const octree::Let& let,
+                     int block);
+
+}  // namespace pkifmm::gpu

@@ -1,0 +1,151 @@
+#include "kernels/kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace pkifmm::kernels {
+
+namespace {
+constexpr double kOneOver4Pi = 1.0 / (4.0 * std::numbers::pi);
+constexpr double kOneOver8Pi = 1.0 / (8.0 * std::numbers::pi);
+}  // namespace
+
+std::uint64_t Kernel::direct(std::span<const double> targets,
+                             std::span<const double> sources,
+                             std::span<const double> density,
+                             std::span<double> potential) const {
+  PKIFMM_CHECK(targets.size() % 3 == 0 && sources.size() % 3 == 0);
+  const std::size_t nt = targets.size() / 3;
+  const std::size_t ns = sources.size() / 3;
+  const int sd = source_dim();
+  const int td = target_dim();
+  PKIFMM_CHECK(density.size() == ns * static_cast<std::size_t>(sd));
+  PKIFMM_CHECK(potential.size() == nt * static_cast<std::size_t>(td));
+
+  double blk[9];
+  for (std::size_t t = 0; t < nt; ++t) {
+    const double* xt = &targets[3 * t];
+    double* f = &potential[t * td];
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double* ys = &sources[3 * s];
+      const double d[3] = {xt[0] - ys[0], xt[1] - ys[1], xt[2] - ys[2]};
+      block(d, blk);
+      const double* q = &density[s * sd];
+      for (int i = 0; i < td; ++i)
+        for (int j = 0; j < sd; ++j) f[i] += blk[i * sd + j] * q[j];
+    }
+  }
+  return nt * ns * flops_per_interaction();
+}
+
+la::Matrix Kernel::assemble(std::span<const double> targets,
+                            std::span<const double> sources) const {
+  PKIFMM_CHECK(targets.size() % 3 == 0 && sources.size() % 3 == 0);
+  const std::size_t nt = targets.size() / 3;
+  const std::size_t ns = sources.size() / 3;
+  const int sd = source_dim();
+  const int td = target_dim();
+
+  la::Matrix m(nt * td, ns * sd);
+  double blk[9];
+  for (std::size_t t = 0; t < nt; ++t) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double d[3] = {targets[3 * t] - sources[3 * s],
+                           targets[3 * t + 1] - sources[3 * s + 1],
+                           targets[3 * t + 2] - sources[3 * s + 2]};
+      block(d, blk);
+      for (int i = 0; i < td; ++i)
+        for (int j = 0; j < sd; ++j)
+          m(t * td + i, s * sd + j) = blk[i * sd + j];
+    }
+  }
+  return m;
+}
+
+void LaplaceKernel::block(const double d[3], double* out) const {
+  const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+  out[0] = r2 > 0.0 ? kOneOver4Pi / std::sqrt(r2) : 0.0;
+}
+
+std::unique_ptr<Kernel> LaplaceKernel::gradient() const {
+  return std::make_unique<LaplaceGradKernel>();
+}
+
+void LaplaceGradKernel::block(const double d[3], double* out) const {
+  const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+  if (r2 == 0.0) {
+    out[0] = out[1] = out[2] = 0.0;
+    return;
+  }
+  const double inv_r = 1.0 / std::sqrt(r2);
+  const double c = -kOneOver4Pi * inv_r * inv_r * inv_r;
+  out[0] = c * d[0];
+  out[1] = c * d[1];
+  out[2] = c * d[2];
+}
+
+std::unique_ptr<Kernel> YukawaKernel::gradient() const {
+  return std::make_unique<YukawaGradKernel>(lambda_);
+}
+
+void YukawaGradKernel::block(const double d[3], double* out) const {
+  const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+  if (r2 == 0.0) {
+    out[0] = out[1] = out[2] = 0.0;
+    return;
+  }
+  const double r = std::sqrt(r2);
+  const double c = -kOneOver4Pi * (1.0 + lambda_ * r) *
+                   std::exp(-lambda_ * r) / (r2 * r);
+  out[0] = c * d[0];
+  out[1] = c * d[1];
+  out[2] = c * d[2];
+}
+
+void StokesKernel::block(const double d[3], double* out) const {
+  const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+  if (r2 == 0.0) {
+    for (int i = 0; i < 9; ++i) out[i] = 0.0;
+    return;
+  }
+  const double inv_r = 1.0 / std::sqrt(r2);
+  const double inv_r3 = inv_r * inv_r * inv_r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      out[i * 3 + j] =
+          kOneOver8Pi * ((i == j ? inv_r : 0.0) + d[i] * d[j] * inv_r3);
+}
+
+void YukawaKernel::block(const double d[3], double* out) const {
+  const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+  if (r2 == 0.0) {
+    out[0] = 0.0;
+    return;
+  }
+  const double r = std::sqrt(r2);
+  out[0] = kOneOver4Pi * std::exp(-lambda_ * r) / r;
+}
+
+void RegularizedStokesKernel::block(const double d[3], double* out) const {
+  const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+  const double re2 = r2 + eps2_;
+  const double inv = 1.0 / (re2 * std::sqrt(re2));
+  const double diag = kOneOver8Pi * (r2 + 2.0 * eps2_) * inv;
+  const double offd = kOneOver8Pi * inv;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      out[i * 3 + j] = (i == j ? diag : 0.0) + offd * d[i] * d[j];
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name) {
+  if (name == "laplace") return std::make_unique<LaplaceKernel>();
+  if (name == "stokes") return std::make_unique<StokesKernel>();
+  if (name == "yukawa") return std::make_unique<YukawaKernel>();
+  if (name == "stokes-reg") return std::make_unique<RegularizedStokesKernel>();
+  PKIFMM_CHECK_MSG(false, "unknown kernel '" << name << "'");
+  return nullptr;
+}
+
+}  // namespace pkifmm::kernels

@@ -1,0 +1,75 @@
+#include "la/matrix.hpp"
+
+#include <cmath>
+
+namespace pkifmm::la {
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+void gemv_acc(const Matrix& a, std::span<const double> x,
+              std::span<double> y, double alpha) {
+  PKIFMM_CHECK(x.size() == a.cols() && y.size() == a.rows());
+  const std::size_t n = a.cols();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.data() + r * n;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < n; ++c) acc += row[c] * x[c];
+    y[r] += alpha * acc;
+  }
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  std::fill(y.begin(), y.end(), 0.0);
+  gemv_acc(a, x, y);
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  PKIFMM_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order keeps the inner loop contiguous in both b and c.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * b.cols();
+      double* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix gemm_tn(const Matrix& a, const Matrix& b) {
+  PKIFMM_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.data() + k * a.cols();
+    const double* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+}  // namespace pkifmm::la

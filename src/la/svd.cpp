@@ -1,0 +1,115 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pkifmm::la {
+
+namespace {
+
+/// One-sided Jacobi on the columns of W (m x n, m >= n assumed by the
+/// caller). On exit the columns of W are U_i * sigma_i and V accumulates
+/// the rotations.
+void jacobi_sweeps(Matrix& w, Matrix& v) {
+  const std::size_t m = w.rows();
+  const std::size_t n = w.cols();
+  const double eps = 1e-15;
+  const int max_sweeps = 60;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Column inner products.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq)) continue;
+        converged = false;
+
+        // Jacobi rotation that zeroes the (p,q) inner product.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+}
+
+}  // namespace
+
+Svd svd(const Matrix& a) {
+  PKIFMM_CHECK(!a.empty());
+  const bool transpose = a.rows() < a.cols();
+  Matrix w = transpose ? a.transposed() : a;
+  const std::size_t m = w.rows();
+  const std::size_t n = w.cols();
+
+  Matrix v = identity(n);
+  jacobi_sweeps(w, v);
+
+  // Extract singular values (column norms) and normalize U's columns.
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(norm);
+  }
+
+  // Sort descending by singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return sigma[i] > sigma[j]; });
+
+  Svd out;
+  out.sigma.resize(n);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    out.sigma[jj] = sigma[j];
+    const double inv = sigma[j] > 0.0 ? 1.0 / sigma[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, jj) = w(i, j) * inv;
+    for (std::size_t i = 0; i < n; ++i) out.v(i, jj) = v(i, j);
+  }
+
+  if (transpose) std::swap(out.u, out.v);
+  return out;
+}
+
+Matrix pinv(const Matrix& a, double rel_cutoff) {
+  Svd s = svd(a);
+  const double smax = s.sigma.empty() ? 0.0 : s.sigma.front();
+  const double cutoff = smax * rel_cutoff;
+
+  // pinv(A) = V diag(1/sigma) U^T over the retained spectrum.
+  const std::size_t k = s.sigma.size();
+  Matrix vs(a.cols(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double inv = s.sigma[j] > cutoff ? 1.0 / s.sigma[j] : 0.0;
+    for (std::size_t i = 0; i < a.cols(); ++i) vs(i, j) = s.v(i, j) * inv;
+  }
+  return gemm(vs, s.u.transposed());
+}
+
+}  // namespace pkifmm::la

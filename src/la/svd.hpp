@@ -1,0 +1,36 @@
+#pragma once
+/// \file svd.hpp
+/// \brief One-sided Jacobi SVD and truncated pseudo-inverse.
+///
+/// The kernel-independent FMM converts check-surface potentials into
+/// equivalent densities by applying the (Tikhonov-style truncated)
+/// pseudo-inverse of the equivalent-to-check interaction matrix; that
+/// matrix is mildly ill-conditioned by construction, so plain LU is not
+/// an option. One-sided Jacobi is compact, accurate for small dense
+/// matrices, and has no external dependencies.
+
+#include "la/matrix.hpp"
+
+#include <vector>
+
+namespace pkifmm::la {
+
+/// Thin SVD A = U diag(sigma) V^T with U: m x k, V: n x k, k = min(m,n).
+/// Singular values are returned in descending order.
+struct Svd {
+  Matrix u;
+  std::vector<double> sigma;
+  Matrix v;
+};
+
+/// Computes the thin SVD via one-sided Jacobi rotations on the columns.
+/// Converges to machine precision for the matrix sizes used in pkifmm
+/// (up to ~1000).
+Svd svd(const Matrix& a);
+
+/// Moore-Penrose pseudo-inverse with relative singular-value cutoff:
+/// singular values below rel_cutoff * sigma_max are treated as zero.
+/// The FMM uses rel_cutoff ~ 1e-12 (double path).
+Matrix pinv(const Matrix& a, double rel_cutoff = 1e-12);
+
+}  // namespace pkifmm::la

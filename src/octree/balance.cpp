@@ -1,0 +1,163 @@
+#include "octree/balance.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pkifmm::octree {
+
+using morton::Bits;
+using morton::Key;
+
+namespace {
+
+/// A balance demand: the leaf covering `cell` must have level >=
+/// `level` - 1 (issued by a level-`level` leaf for its neighbor
+/// region anchored at `cell`).
+struct Demand {
+  Bits cell;
+  std::uint8_t level;
+};
+static_assert(std::is_trivially_copyable_v<Demand>);
+
+/// Index of the local leaf containing the given kMaxDepth cell id, or
+/// -1 if none covers it.
+std::int64_t find_covering_leaf(const std::vector<Key>& leaves, Bits cell) {
+  // Last leaf with range_begin <= cell.
+  auto it = std::upper_bound(
+      leaves.begin(), leaves.end(), cell,
+      [](Bits c, const Key& k) { return c < morton::range_begin(k); });
+  if (it == leaves.begin()) return -1;
+  --it;
+  if (cell < morton::range_end(*it)) return it - leaves.begin();
+  return -1;
+}
+
+/// Recursively splits `leaf` (with its point range) until no demand in
+/// [dlo, dhi) requires a deeper covering leaf; appends the resulting
+/// leaves and points to the output arrays.
+void split_to_satisfy(const Key& leaf, std::span<const PointRec> pts,
+                      std::span<const Demand> demands,
+                      std::vector<Key>& out_leaves,
+                      std::vector<PointRec>& out_points,
+                      std::uint64_t& splits) {
+  int required = leaf.level;
+  for (const Demand& d : demands)
+    required = std::max(required, static_cast<int>(d.level) - 1);
+  if (required <= leaf.level || leaf.level >= morton::kMaxDepth) {
+    out_leaves.push_back(leaf);
+    out_points.insert(out_points.end(), pts.begin(), pts.end());
+    return;
+  }
+  ++splits;
+  std::size_t pbegin = 0;
+  for (int ci = 0; ci < 8; ++ci) {
+    const Key child = morton::child(leaf, ci);
+    const Bits end = morton::range_end(child);
+    std::size_t pend = pbegin;
+    while (pend < pts.size() && pts[pend].key_bits < end) ++pend;
+    // Demands whose cell falls inside this child.
+    std::vector<Demand> mine;
+    for (const Demand& d : demands)
+      if (d.cell >= morton::range_begin(child) && d.cell < end)
+        mine.push_back(d);
+    split_to_satisfy(child, pts.subspan(pbegin, pend - pbegin), mine,
+                     out_leaves, out_points, splits);
+    pbegin = pend;
+  }
+}
+
+}  // namespace
+
+std::uint64_t balance_2to1(comm::Comm& c, OwnedTree& tree) {
+  const int p = c.size();
+  std::uint64_t total_splits = 0;
+
+  for (int round = 0;; ++round) {
+    PKIFMM_CHECK_MSG(round < 2 * morton::kMaxDepth,
+                     "2:1 balance failed to converge");
+
+    // 1. Issue demands for every leaf's 26 same-level neighbor regions.
+    std::vector<std::vector<Demand>> outgoing(p);
+    for (const Key& leaf : tree.leaves) {
+      if (leaf.level < 2) continue;  // nothing can be 2+ levels coarser
+      for (const Key& kappa : morton::colleagues(leaf)) {
+        const Bits cell = morton::range_begin(kappa);
+        auto it = std::upper_bound(tree.splitters.begin(),
+                                   tree.splitters.end(), cell);
+        const int dest = static_cast<int>(it - tree.splitters.begin()) - 1;
+        outgoing[dest].push_back(Demand{cell, leaf.level});
+      }
+    }
+    for (auto& v : outgoing) {
+      std::sort(v.begin(), v.end(), [](const Demand& a, const Demand& b) {
+        return a.cell != b.cell ? a.cell < b.cell : a.level > b.level;
+      });
+      // Keep only the strongest demand per cell.
+      v.erase(std::unique(v.begin(), v.end(),
+                          [](const Demand& a, const Demand& b) {
+                            return a.cell == b.cell;
+                          }),
+              v.end());
+    }
+    auto incoming = c.alltoallv(std::move(outgoing));
+
+    // 2. Group demands by the covering local leaf.
+    std::map<std::size_t, std::vector<Demand>> by_leaf;
+    for (const auto& run : incoming) {
+      for (const Demand& d : run) {
+        const std::int64_t li = find_covering_leaf(tree.leaves, d.cell);
+        if (li < 0) continue;  // empty space: nothing to balance
+        if (static_cast<int>(d.level) - 1 <= tree.leaves[li].level) continue;
+        by_leaf[static_cast<std::size_t>(li)].push_back(d);
+      }
+    }
+
+    // 3. Rebuild the leaf/point arrays with the required splits.
+    std::uint64_t splits = 0;
+    if (!by_leaf.empty()) {
+      std::vector<Key> new_leaves;
+      std::vector<PointRec> new_points;
+      new_leaves.reserve(tree.leaves.size() + 8 * by_leaf.size());
+      new_points.reserve(tree.points.size());
+      for (std::size_t i = 0; i < tree.leaves.size(); ++i) {
+        const std::span<const PointRec> pts(
+            tree.points.data() + tree.leaf_point_offset[i],
+            tree.leaf_point_offset[i + 1] - tree.leaf_point_offset[i]);
+        auto it = by_leaf.find(i);
+        if (it == by_leaf.end()) {
+          new_leaves.push_back(tree.leaves[i]);
+          new_points.insert(new_points.end(), pts.begin(), pts.end());
+        } else {
+          split_to_satisfy(tree.leaves[i], pts, it->second, new_leaves,
+                           new_points, splits);
+        }
+      }
+      tree.leaves = std::move(new_leaves);
+      tree.points = std::move(new_points);
+      // Empty leaves are legal after balancing; rebuild the CSR by
+      // range scan (build_leaf_csr allows zero-point leaves).
+      tree.leaf_point_offset = build_leaf_csr(tree.leaves, tree.points);
+    }
+
+    const std::uint64_t global_splits = c.allreduce_sum(splits);
+    total_splits += global_splits;
+    if (global_splits == 0) break;
+  }
+  return total_splits;
+}
+
+bool is_2to1_balanced(const std::vector<Key>& leaves) {
+  std::vector<Key> sorted = leaves;
+  std::sort(sorted.begin(), sorted.end());
+  for (const Key& leaf : sorted) {
+    for (const Key& kappa : morton::colleagues(leaf)) {
+      const std::int64_t li =
+          find_covering_leaf(sorted, morton::range_begin(kappa));
+      if (li < 0) continue;
+      if (sorted[li].level < static_cast<int>(leaf.level) - 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pkifmm::octree

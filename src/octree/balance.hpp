@@ -1,0 +1,37 @@
+#pragma once
+/// \file balance.hpp
+/// \brief Distributed 2:1 balance refinement of the linear octree.
+///
+/// This is the other half of the DENDRO substrate the paper builds on
+/// (its reference [16], Sundar et al., "Bottom-up construction and 2:1
+/// balance refinement of linear octrees in parallel"). The KIFMM
+/// itself tolerates arbitrary level contrast between adjacent leaves
+/// (the paper's 65K run spans levels 2..27), so balancing is optional
+/// for pkifmm — but it bounds the U/W/X list sizes and is required by
+/// hybrid FMM/finite-element pipelines, so the substrate ships it.
+///
+/// Algorithm: iterated demand/ripple. Each round, every leaf issues
+/// "must be at least level L-1" demands for its 26 same-level neighbor
+/// regions; demands are routed to the ranks owning those regions
+/// (alltoallv over the key-space splitters); receiving ranks split any
+/// leaf that is >=2 levels coarser than a demand (recursively toward
+/// the demand cell), redistributing its points among the children.
+/// Rounds repeat until a global allreduce reports no splits. Splits
+/// create empty leaves (a balanced tree must cover space at bounded
+/// granularity), which the rest of pkifmm handles as zero-point leaves.
+
+#include "octree/build.hpp"
+
+namespace pkifmm::octree {
+
+/// Enforces the 2:1 condition: any two adjacent leaves differ by at
+/// most one level. Leaf ownership intervals are unchanged (children
+/// stay on their parent's rank); splitters are preserved. Returns the
+/// number of splits performed globally.
+std::uint64_t balance_2to1(comm::Comm& c, OwnedTree& tree);
+
+/// True iff the given (global, gathered) leaf set satisfies 2:1. Test
+/// helper; O(n * 26 * log n).
+bool is_2to1_balanced(const std::vector<morton::Key>& leaves);
+
+}  // namespace pkifmm::octree

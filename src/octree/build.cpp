@@ -1,0 +1,310 @@
+#include "octree/build.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "comm/sort.hpp"
+
+namespace pkifmm::octree {
+
+using morton::Bits;
+using morton::Key;
+
+namespace {
+
+/// One past the largest Morton id (the end of the root's key range).
+Bits key_space_end() { return morton::range_end(morton::root()); }
+
+/// First local point index with key >= bits.
+std::size_t lower_index(const std::vector<PointRec>& pts, Bits bits) {
+  return static_cast<std::size_t>(
+      std::lower_bound(pts.begin(), pts.end(), bits,
+                       [](const PointRec& a, Bits b) { return a.key_bits < b; }) -
+      pts.begin());
+}
+
+struct RankSpan {
+  std::uint8_t has;
+  Bits first;
+  Bits last;
+};
+static_assert(std::is_trivially_copyable_v<RankSpan>);
+
+/// Ensures no kMaxDepth cell's points span a rank boundary: each rank's
+/// leading run of duplicate keys is donated to the lowest rank that
+/// holds that key. Needed so the straddler logic below can reason at
+/// cell granularity even with heavily duplicated points.
+void close_key_runs(comm::Comm& c, std::vector<PointRec>& pts) {
+  const int p = c.size();
+  if (p == 1) return;
+  RankSpan mine{static_cast<std::uint8_t>(!pts.empty()),
+                pts.empty() ? Bits{0} : pts.front().key_bits,
+                pts.empty() ? Bits{0} : pts.back().key_bits};
+  auto spans = c.allgather(mine);
+
+  std::vector<std::vector<PointRec>> outgoing(p);
+  if (!pts.empty()) {
+    const Bits k = pts.front().key_bits;
+    int owner = c.rank();
+    for (int r = 0; r < c.rank(); ++r) {
+      if (spans[r].has && spans[r].last == k) {
+        owner = r;
+        break;
+      }
+    }
+    if (owner != c.rank()) {
+      const std::size_t run_end = lower_index(pts, k + 1);
+      outgoing[owner].assign(pts.begin(), pts.begin() + run_end);
+      pts.erase(pts.begin(), pts.begin() + run_end);
+    }
+  }
+  auto incoming = c.alltoallv(std::move(outgoing));
+  bool merged = false;
+  for (int r = 0; r < p; ++r) {
+    if (r == c.rank() || incoming[r].empty()) continue;
+    pts.insert(pts.end(), incoming[r].begin(), incoming[r].end());
+    merged = true;
+  }
+  if (merged) std::sort(pts.begin(), pts.end());
+}
+
+/// Point-space splitters: rank k's points lie in [s_k, s_{k+1}).
+/// Empty ranks get a degenerate interval (backfilled from the right).
+std::vector<Bits> point_splitters(comm::Comm& c,
+                                  const std::vector<PointRec>& pts) {
+  const int p = c.size();
+  RankSpan mine{static_cast<std::uint8_t>(!pts.empty()),
+                pts.empty() ? Bits{0} : pts.front().key_bits, Bits{0}};
+  auto spans = c.allgather(mine);
+  std::vector<Bits> s(p, 0);
+  Bits next = key_space_end();
+  for (int k = p - 1; k >= 1; --k) {
+    s[k] = spans[k].has ? spans[k].first : next;
+    next = s[k];
+  }
+  s[0] = 0;
+  for (int k = 0; k + 1 < p; ++k) PKIFMM_CHECK(s[k] <= s[k + 1]);
+  return s;
+}
+
+/// Per-octant global census for octants that may straddle rank
+/// boundaries: ancestors (and self) of every boundary cell.
+struct StraddlerTable {
+  std::unordered_map<Key, std::size_t, morton::KeyHash> index;
+  std::vector<std::uint64_t> global_count;
+  std::vector<int> first_contributor;
+};
+
+StraddlerTable build_straddler_table(comm::Comm& c,
+                                     const std::vector<PointRec>& pts,
+                                     const std::vector<Bits>& splitters,
+                                     int max_level) {
+  StraddlerTable table;
+  const int p = c.size();
+
+  std::vector<Key> keys;
+  for (int k = 1; k < p; ++k) {
+    if (splitters[k] == 0 || splitters[k] >= key_space_end()) continue;
+    const Key cell{splitters[k], morton::kMaxDepth};
+    for (int l = 0; l <= max_level; ++l) {
+      const Key a = morton::ancestor_at(cell, l);
+      if (!table.index.count(a)) {
+        table.index.emplace(a, keys.size());
+        keys.push_back(a);
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> local(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    local[i] = lower_index(pts, morton::range_end(keys[i])) -
+               lower_index(pts, morton::range_begin(keys[i]));
+
+  auto per_rank = c.allgatherv(std::span<const std::uint64_t>(local));
+  table.global_count.assign(keys.size(), 0);
+  table.first_contributor.assign(keys.size(), 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    int first = -1;
+    std::uint64_t sum = 0;
+    for (int r = 0; r < p; ++r) {
+      PKIFMM_CHECK(per_rank[r].size() == keys.size());
+      sum += per_rank[r][i];
+      if (first < 0 && per_rank[r][i] > 0) first = r;
+    }
+    table.global_count[i] = sum;
+    table.first_contributor[i] = first < 0 ? 0 : first;
+  }
+  return table;
+}
+
+/// Top-down refinement of the local point range. Straddling octants use
+/// the exchanged global census so every overlapped rank takes the same
+/// split decision; straddling leaves are emitted only by their owner
+/// (the first contributing rank), others queue their points for
+/// migration.
+class LocalBuilder {
+ public:
+  LocalBuilder(const std::vector<PointRec>& pts, const StraddlerTable& table,
+               const BuildParams& params, int my_rank, int nranks)
+      : pts_(pts), table_(table), params_(params), my_rank_(my_rank) {
+    migrate_to_.resize(nranks);
+  }
+
+  void run() { visit(morton::root(), 0, pts_.size()); }
+
+  std::vector<Key> leaves;
+  std::vector<std::pair<std::size_t, std::size_t>> kept_ranges;
+  std::vector<std::vector<PointRec>> migrate_to_;
+
+ private:
+  void visit(const Key& k, std::size_t lo, std::size_t hi) {
+    std::uint64_t global = hi - lo;
+    int owner = my_rank_;
+    if (auto it = table_.index.find(k); it != table_.index.end()) {
+      global = table_.global_count[it->second];
+      owner = table_.first_contributor[it->second];
+    }
+    if (global <= static_cast<std::uint64_t>(params_.max_points_per_leaf) ||
+        k.level >= params_.max_level) {
+      if (hi == lo) return;  // no local points: some other rank emits it
+      if (owner == my_rank_) {
+        leaves.push_back(k);
+        kept_ranges.emplace_back(lo, hi);
+      } else {
+        auto& out = migrate_to_[owner];
+        out.insert(out.end(), pts_.begin() + lo, pts_.begin() + hi);
+      }
+      return;
+    }
+    // Split: children are contiguous in the sorted point array.
+    std::size_t begin = lo;
+    for (int i = 0; i < 8; ++i) {
+      const Key ch = morton::child(k, i);
+      const std::size_t end =
+          i + 1 < 8 ? lower_index_in(begin, hi, morton::range_end(ch)) : hi;
+      if (end > begin || table_.index.count(ch)) visit(ch, begin, end);
+      begin = end;
+    }
+  }
+
+  std::size_t lower_index_in(std::size_t lo, std::size_t hi, Bits bits) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(pts_.begin() + lo, pts_.begin() + hi, bits,
+                         [](const PointRec& a, Bits b) {
+                           return a.key_bits < b;
+                         }) -
+        pts_.begin());
+  }
+
+  const std::vector<PointRec>& pts_;
+  const StraddlerTable& table_;
+  const BuildParams& params_;
+  int my_rank_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> build_leaf_csr(const std::vector<morton::Key>& leaves,
+                                        const std::vector<PointRec>& points) {
+  std::vector<std::size_t> offset(leaves.size() + 1, 0);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    offset[i] = pos;
+    const Bits end = morton::range_end(leaves[i]);
+    PKIFMM_CHECK_MSG(pos == points.size() ||
+                         points[pos].key_bits >= morton::range_begin(leaves[i]),
+                     "point before its leaf: leaf "
+                         << morton::to_string(leaves[i]));
+    while (pos < points.size() && points[pos].key_bits < end) ++pos;
+  }
+  offset[leaves.size()] = pos;
+  PKIFMM_CHECK_MSG(pos == points.size(),
+                   "points not covered by leaves: " << points.size() - pos
+                                                    << " stragglers");
+  return offset;
+}
+
+std::vector<Bits> recompute_splitters(comm::Comm& c,
+                                      const std::vector<morton::Key>& leaves) {
+  const int p = c.size();
+  RankSpan mine{static_cast<std::uint8_t>(!leaves.empty()),
+                leaves.empty() ? Bits{0} : morton::range_begin(leaves.front()),
+                Bits{0}};
+  auto spans = c.allgather(mine);
+  std::vector<Bits> s(p, 0);
+  Bits next = key_space_end();
+  for (int k = p - 1; k >= 1; --k) {
+    s[k] = spans[k].has ? spans[k].first : next;
+    next = s[k];
+  }
+  s[0] = 0;
+  for (int k = 0; k + 1 < p; ++k)
+    PKIFMM_CHECK_MSG(s[k] <= s[k + 1], "leaf splitters not monotone");
+  return s;
+}
+
+std::pair<int, int> overlapping_ranks(const Key& k,
+                                      const std::vector<Bits>& splitters) {
+  const Bits begin = morton::range_begin(k);
+  const Bits last = morton::range_end(k) - 1;
+  auto rank_of = [&](Bits b) {
+    auto it = std::upper_bound(splitters.begin(), splitters.end(), b);
+    return static_cast<int>(it - splitters.begin()) - 1;
+  };
+  return {rank_of(begin), rank_of(last)};
+}
+
+OwnedTree build_distributed_tree(comm::Comm& c, std::vector<PointRec> points,
+                                 const BuildParams& params) {
+  PKIFMM_CHECK(params.max_points_per_leaf >= 1);
+  PKIFMM_CHECK(params.max_level >= 1 && params.max_level <= morton::kMaxDepth);
+
+  assign_morton_ids(points);
+  comm::sample_sort(c, points, std::less<PointRec>{});
+  comm::rebalance_equal(c, points);
+  close_key_runs(c, points);
+
+  const auto splitters = point_splitters(c, points);
+  const auto table =
+      build_straddler_table(c, points, splitters, params.max_level);
+
+  LocalBuilder builder(points, table, params, c.rank(), c.size());
+  builder.run();
+
+  // Migrate points of straddling leaves to the leaf owner.
+  auto incoming = c.alltoallv(std::move(builder.migrate_to_));
+
+  OwnedTree tree;
+  tree.leaves = std::move(builder.leaves);
+  for (const auto& [lo, hi] : builder.kept_ranges)
+    tree.points.insert(tree.points.end(), points.begin() + lo,
+                       points.begin() + hi);
+  bool merged = false;
+  for (auto& run : incoming) {
+    if (run.empty()) continue;
+    tree.points.insert(tree.points.end(), run.begin(), run.end());
+    merged = true;
+  }
+  if (merged) std::sort(tree.points.begin(), tree.points.end());
+
+  tree.leaf_point_offset = build_leaf_csr(tree.leaves, tree.points);
+  tree.splitters = recompute_splitters(c, tree.leaves);
+
+  // Global structural sanity: leaf ranges must be disjoint and sorted
+  // across ranks.
+  RankSpan mine{static_cast<std::uint8_t>(!tree.leaves.empty()),
+                tree.leaves.empty() ? Bits{0}
+                                    : morton::range_begin(tree.leaves.front()),
+                tree.leaves.empty() ? Bits{0}
+                                    : morton::range_end(tree.leaves.back())};
+  auto spans = c.allgather(mine);
+  Bits prev_end = 0;
+  for (const auto& s : spans) {
+    if (!s.has) continue;
+    PKIFMM_CHECK_MSG(s.first >= prev_end, "leaf ranges overlap across ranks");
+    prev_end = s.last;
+  }
+  return tree;
+}
+
+}  // namespace pkifmm::octree

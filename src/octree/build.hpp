@@ -1,0 +1,67 @@
+#pragma once
+/// \file build.hpp
+/// \brief Distributed linear-octree construction (paper §III-A, the
+/// DENDRO-style "Points2Octree" stand-in).
+///
+/// Input: each rank holds an arbitrary chunk of the global point set.
+/// Output: a distributed, globally Morton-sorted, non-overlapping set of
+/// leaf octants, each with <= q points (unless forced by max_level),
+/// leaves and their points co-located per rank, plus the key-space
+/// ownership splitters that define the geometric partition Omega_k.
+///
+/// The construction is bottom-up in spirit: points are sample-sorted by
+/// Morton id, each rank refines its contiguous key interval top-down,
+/// and octants that straddle rank boundaries are resolved exactly by
+/// exchanging per-rank point counts for the (few) ancestors of the
+/// boundary cells; straddling leaves are assigned to the lowest
+/// contributing rank and the other ranks migrate their points there.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "morton/key.hpp"
+#include "octree/points.hpp"
+
+namespace pkifmm::octree {
+
+struct BuildParams {
+  int max_points_per_leaf = 100;     ///< q in the paper
+  int max_level = morton::kMaxDepth; ///< refinement cap (duplicate safety)
+};
+
+/// A rank's share of the global leaf array with its points.
+struct OwnedTree {
+  /// Owned leaves, Morton-sorted, globally non-overlapping.
+  std::vector<morton::Key> leaves;
+  /// Owned points, sorted, grouped by leaf via the CSR below.
+  std::vector<PointRec> points;
+  /// leaf_point_offset[i]..leaf_point_offset[i+1] indexes points of leaf i.
+  std::vector<std::size_t> leaf_point_offset;
+  /// Key-space ownership splitters: rank k controls
+  /// [splitters[k], splitters[k+1]) (last interval open-ended). Identical
+  /// on every rank. splitters[0] == 0.
+  std::vector<morton::Bits> splitters;
+};
+
+/// Builds the distributed tree. `points` is consumed.
+OwnedTree build_distributed_tree(comm::Comm& c, std::vector<PointRec> points,
+                                 const BuildParams& params);
+
+/// Recomputes ownership splitters from each rank's first leaf (used
+/// after leaves migrate during load balancing). Collective.
+std::vector<morton::Bits> recompute_splitters(
+    comm::Comm& c, const std::vector<morton::Key>& leaves);
+
+/// Rebuilds the leaf->points CSR for Morton-sorted leaves and points.
+/// Checks that every point falls in exactly one leaf.
+std::vector<std::size_t> build_leaf_csr(const std::vector<morton::Key>& leaves,
+                                        const std::vector<PointRec>& points);
+
+/// The ranks whose ownership interval intersects [range_begin(k),
+/// range_end(k)), as a closed rank interval [first, last]. Requires the
+/// splitters array from OwnedTree.
+std::pair<int, int> overlapping_ranks(const morton::Key& k,
+                                      const std::vector<morton::Bits>& splitters);
+
+}  // namespace pkifmm::octree

@@ -1,0 +1,377 @@
+#include "octree/let.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pkifmm::octree {
+
+using morton::Bits;
+using morton::Key;
+
+namespace {
+
+/// Ghost-octant message header; point payloads travel in a parallel
+/// stream in the same per-destination order.
+struct OctMsg {
+  Bits bits;
+  std::uint8_t level;
+  std::uint8_t global_leaf;
+  std::uint32_t npoints;
+};
+static_assert(std::is_trivially_copyable_v<OctMsg>);
+
+/// Density-refresh message header (see refresh_ghost_densities).
+struct DenMsg {
+  Bits bits;
+  std::uint8_t level;
+  std::uint32_t npoints;
+};
+static_assert(std::is_trivially_copyable_v<DenMsg>);
+
+/// Staging entry for one octant while the LET is being merged.
+struct Staged {
+  bool global_leaf = false;
+  bool owned = false;
+  std::vector<PointRec> pts;
+};
+
+/// Destination ranks for octant beta: every rank whose ownership region
+/// overlaps the neighborhood of beta's parent (colleagues of P(beta)
+/// plus P(beta) itself — the "user" rule of §III-A). Root octants go to
+/// everyone.
+void user_ranks(const Key& beta, const std::vector<Bits>& splitters,
+                std::vector<char>& mark) {
+  std::fill(mark.begin(), mark.end(), 0);
+  const int p = static_cast<int>(mark.size());
+  if (beta.level == 0) {
+    std::fill(mark.begin(), mark.end(), 1);
+    return;
+  }
+  for (const Key& kappa : morton::neighborhood(morton::parent(beta))) {
+    const auto [lo, hi] = overlapping_ranks(kappa, splitters);
+    for (int r = std::max(lo, 0); r <= std::min(hi, p - 1); ++r) mark[r] = 1;
+  }
+}
+
+}  // namespace
+
+int Let::max_leaf_level() const {
+  int m = 0;
+  for (const LetNode& n : nodes)
+    if (n.global_leaf) m = std::max(m, static_cast<int>(n.key.level));
+  return m;
+}
+
+int Let::min_leaf_level() const {
+  int m = morton::kMaxDepth;
+  for (const LetNode& n : nodes)
+    if (n.global_leaf) m = std::min(m, static_cast<int>(n.key.level));
+  return m;
+}
+
+Let build_let(comm::Comm& c, const OwnedTree& tree) {
+  const int p = c.size();
+  std::unordered_map<Key, Staged, morton::KeyHash> staged;
+
+  // B_k: owned leaves with their points, plus all ancestors.
+  for (std::size_t i = 0; i < tree.leaves.size(); ++i) {
+    Staged& s = staged[tree.leaves[i]];
+    s.global_leaf = true;
+    s.owned = true;
+    s.pts.assign(tree.points.begin() + tree.leaf_point_offset[i],
+                 tree.points.begin() + tree.leaf_point_offset[i + 1]);
+  }
+  for (const Key& leaf : tree.leaves) {
+    Key k = leaf;
+    while (k.level > 0) {
+      k = morton::parent(k);
+      auto [it, inserted] = staged.try_emplace(k);
+      (void)it;
+      if (!inserted) break;  // ancestors above are already present
+    }
+  }
+
+  // Ghost exchange (Algorithm 2 steps 3-4).
+  std::vector<std::vector<OctMsg>> msg_out(p);
+  std::vector<std::vector<PointRec>> pts_out(p);
+  std::map<Key, std::vector<std::int32_t>> leaf_consumers;  // for refresh
+  std::vector<char> mark(p);
+  for (const auto& [key, s] : staged) {
+    user_ranks(key, tree.splitters, mark);
+    for (int dest = 0; dest < p; ++dest) {
+      if (dest == c.rank() || !mark[dest]) continue;
+      msg_out[dest].push_back(OctMsg{key.bits, key.level,
+                                     static_cast<std::uint8_t>(s.global_leaf),
+                                     static_cast<std::uint32_t>(s.pts.size())});
+      pts_out[dest].insert(pts_out[dest].end(), s.pts.begin(), s.pts.end());
+      if (s.owned && s.global_leaf) leaf_consumers[key].push_back(dest);
+    }
+  }
+  auto msg_in = c.alltoallv(std::move(msg_out));
+  auto pts_in = c.alltoallv(std::move(pts_out));
+
+  for (int r = 0; r < p; ++r) {
+    if (r == c.rank()) continue;
+    std::size_t cursor = 0;
+    for (const OctMsg& m : msg_in[r]) {
+      const Key k{m.bits, m.level};
+      Staged& s = staged[k];
+      if (m.global_leaf) {
+        PKIFMM_CHECK_MSG(!s.owned, "owned leaf received as ghost");
+        s.global_leaf = true;
+        PKIFMM_CHECK(cursor + m.npoints <= pts_in[r].size());
+        s.pts.assign(pts_in[r].begin() + cursor,
+                     pts_in[r].begin() + cursor + m.npoints);
+      }
+      cursor += m.npoints;
+    }
+    PKIFMM_CHECK_MSG(cursor == pts_in[r].size(),
+                     "ghost point stream out of sync with headers");
+  }
+
+  // Ancestor closure: every node's parent chain must exist so the list
+  // construction can descend through the tree.
+  {
+    std::vector<Key> keys;
+    keys.reserve(staged.size());
+    for (const auto& [key, s] : staged) keys.push_back(key);
+    for (const Key& k0 : keys) {
+      Key k = k0;
+      while (k.level > 0) {
+        k = morton::parent(k);
+        auto [it, inserted] = staged.try_emplace(k);
+        (void)it;
+        if (!inserted) break;
+      }
+    }
+  }
+
+  // Assemble the node array in Morton (preorder) order.
+  Let let;
+  let.splitters = tree.splitters;
+  std::vector<Key> keys;
+  keys.reserve(staged.size());
+  for (const auto& [key, s] : staged) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  let.nodes.resize(keys.size());
+  let.index_.reserve(keys.size());
+  std::size_t npts = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const Staged& s = staged[keys[i]];
+    LetNode& n = let.nodes[i];
+    n.key = keys[i];
+    n.global_leaf = s.global_leaf;
+    n.owned = s.owned;
+    npts += s.pts.size();
+    let.index_.emplace(keys[i], static_cast<std::int32_t>(i));
+  }
+
+  // Parent/child links.
+  for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+    LetNode& n = let.nodes[i];
+    if (n.key.level == 0) continue;
+    const std::int32_t pi = let.find(morton::parent(n.key));
+    PKIFMM_CHECK_MSG(pi >= 0, "ancestor closure violated");
+    n.parent = pi;
+    let.nodes[pi].child[morton::child_index(n.key)] =
+        static_cast<std::int32_t>(i);
+  }
+
+  // Targets: owned leaves and their ancestors.
+  for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+    if (!let.nodes[i].owned) continue;
+    std::int32_t j = static_cast<std::int32_t>(i);
+    while (j >= 0 && !let.nodes[j].target) {
+      let.nodes[j].target = true;
+      j = let.nodes[j].parent;
+    }
+  }
+
+  // Point layout: grouped by leaf, in node order, targets before
+  // source-only points (so target potentials are contiguous per leaf).
+  let.points.reserve(npts);
+  for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+    LetNode& n = let.nodes[i];
+    Staged& s = staged[n.key];
+    std::stable_partition(s.pts.begin(), s.pts.end(),
+                          [](const PointRec& p) { return p.is_target(); });
+    n.point_begin = static_cast<std::uint32_t>(let.points.size());
+    n.point_count = static_cast<std::uint32_t>(s.pts.size());
+    n.target_count = static_cast<std::uint32_t>(
+        std::count_if(s.pts.begin(), s.pts.end(),
+                      [](const PointRec& p) { return p.is_target(); }));
+    let.points.insert(let.points.end(), s.pts.begin(), s.pts.end());
+  }
+
+  // Ghost-density subscriptions, now that node indices exist.
+  for (const auto& [key, dests] : leaf_consumers) {
+    const std::int32_t ni = let.find(key);
+    PKIFMM_CHECK(ni >= 0);
+    for (std::int32_t dest : dests) let.ghost_subscriptions.emplace_back(ni, dest);
+  }
+  return let;
+}
+
+namespace {
+
+/// Deepest LET node whose region contains the probe octant (searching
+/// from the probe's level upward). -1 if no ancestor-or-self exists.
+std::int32_t find_containing(const Let& let, const Key& probe) {
+  for (int l = probe.level; l >= 0; --l) {
+    const std::int32_t idx = let.find(morton::ancestor_at(probe, l));
+    if (idx >= 0) return idx;
+  }
+  return -1;
+}
+
+/// Collects U members (adjacent leaves) and W members (non-adjacent
+/// children of adjacent octants) below gamma. Invariant: gamma's region
+/// is adjacent to beta.
+void descend_uw(const Let& let, const Key& beta, std::int32_t gamma,
+                std::vector<std::int32_t>& u, std::vector<std::int32_t>& w) {
+  for (std::int32_t ci : let.nodes[gamma].child) {
+    if (ci < 0) continue;
+    const LetNode& cn = let.nodes[ci];
+    if (morton::adjacent(cn.key, beta)) {
+      if (cn.global_leaf)
+        u.push_back(ci);
+      else
+        descend_uw(let, beta, ci, u, w);
+    } else {
+      // Parent adjacent, child not: the child (leaf or not) is in W.
+      w.push_back(ci);
+    }
+  }
+}
+
+void sort_unique(std::vector<std::int32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+ListSet compress(const std::vector<std::vector<std::int32_t>>& per_node) {
+  ListSet out;
+  out.offset.resize(per_node.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < per_node.size(); ++i) {
+    out.offset[i] = static_cast<std::int32_t>(total);
+    total += per_node[i].size();
+  }
+  out.offset[per_node.size()] = static_cast<std::int32_t>(total);
+  out.items.reserve(total);
+  for (const auto& v : per_node)
+    out.items.insert(out.items.end(), v.begin(), v.end());
+  return out;
+}
+
+}  // namespace
+
+void build_interaction_lists(Let& let) {
+  const std::size_t n = let.nodes.size();
+  std::vector<std::vector<std::int32_t>> u(n), v(n), w(n), x(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const LetNode& node = let.nodes[i];
+    if (!node.target) continue;
+    const Key beta = node.key;
+
+    // --- U and W lists (owned leaves only) ---
+    if (node.owned && node.global_leaf) {
+      u[i].push_back(static_cast<std::int32_t>(i));  // beta is in U(beta)
+      for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dz = -1; dz <= 1; ++dz) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            const auto nb = morton::neighbor(beta, dx, dy, dz);
+            if (!nb) continue;
+            const std::int32_t found = find_containing(let, *nb);
+            if (found < 0) continue;
+            const LetNode& fn = let.nodes[found];
+            if (fn.global_leaf) {
+              if (morton::adjacent(fn.key, beta))
+                u[i].push_back(found);
+            } else if (fn.key.level == beta.level) {
+              // The colleague itself exists and is refined: descend for
+              // finer adjacent leaves (U) and their non-adjacent
+              // siblings (W).
+              descend_uw(let, beta, found, u[i], w[i]);
+            }
+            // Internal node coarser than beta: nothing interacts here
+            // (its relevant descendants would have forced finer LET
+            // nodes via the ancestor closure).
+          }
+      sort_unique(u[i]);
+      sort_unique(w[i]);
+    }
+
+    if (beta.level == 0) continue;
+    const Key par = morton::parent(beta);
+
+    // --- V list: children of parent's colleagues not adjacent to beta.
+    for (const Key& kappa : morton::colleagues(par)) {
+      const std::int32_t ki = let.find(kappa);
+      if (ki < 0) continue;
+      for (std::int32_t ci : let.nodes[ki].child) {
+        if (ci < 0) continue;
+        if (!morton::adjacent(let.nodes[ci].key, beta)) v[i].push_back(ci);
+      }
+    }
+
+    // --- X list: leaves coarser than beta, adjacent to P(beta) but not
+    // to beta (the duals of W).
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const auto nb = morton::neighbor(par, dx, dy, dz);
+          if (!nb) continue;
+          const std::int32_t found = find_containing(let, *nb);
+          if (found < 0) continue;
+          const LetNode& fn = let.nodes[found];
+          if (fn.global_leaf && morton::adjacent(fn.key, par) &&
+              !morton::adjacent(fn.key, beta))
+            x[i].push_back(found);
+        }
+    sort_unique(x[i]);
+  }
+
+  let.u = compress(u);
+  let.v = compress(v);
+  let.w = compress(w);
+  let.x = compress(x);
+}
+
+void refresh_ghost_densities(comm::Comm& c, Let& let) {
+  const int p = c.size();
+  std::vector<std::vector<DenMsg>> hdr_out(p);
+  std::vector<std::vector<double>> den_out(p);
+  for (const auto& [ni, dest] : let.ghost_subscriptions) {
+    const LetNode& n = let.nodes[ni];
+    hdr_out[dest].push_back(DenMsg{n.key.bits, n.key.level, n.point_count});
+    for (const PointRec& pt : let.points_of(n))
+      den_out[dest].insert(den_out[dest].end(), pt.den,
+                           pt.den + kMaxDensityDim);
+  }
+  auto hdr_in = c.alltoallv(std::move(hdr_out));
+  auto den_in = c.alltoallv(std::move(den_out));
+
+  for (int r = 0; r < p; ++r) {
+    if (r == c.rank()) continue;
+    std::size_t cursor = 0;
+    for (const DenMsg& m : hdr_in[r]) {
+      const std::int32_t ni = let.find(Key{m.bits, m.level});
+      PKIFMM_CHECK_MSG(ni >= 0, "density refresh for unknown ghost leaf");
+      LetNode& n = let.nodes[ni];
+      PKIFMM_CHECK(n.point_count == m.npoints);
+      for (PointRec& pt : let.points_of(n)) {
+        for (int d = 0; d < kMaxDensityDim; ++d)
+          pt.den[d] = den_in[r][cursor + d];
+        cursor += kMaxDensityDim;
+      }
+    }
+    PKIFMM_CHECK(cursor == den_in[r].size());
+  }
+}
+
+}  // namespace pkifmm::octree

@@ -1,0 +1,105 @@
+#pragma once
+/// \file let.hpp
+/// \brief Local Essential Tree construction (paper Algorithm 2) and
+/// U/V/W/X interaction-list construction (paper Table I).
+///
+/// The LET of rank k is the union of the interaction lists of all owned
+/// leaves and their ancestors. It is built by exchanging "ghost"
+/// octants: rank k sends octant beta to every rank whose ownership
+/// region overlaps the neighborhood of beta's parent (the
+/// contributor/user rule of §III-A); ghost leaves travel with their
+/// points so U- and X-list (direct-type) interactions can be evaluated
+/// locally. After the exchange the node set is closed under parents,
+/// which makes the list-construction descents complete.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "morton/key.hpp"
+#include "octree/build.hpp"
+#include "octree/points.hpp"
+
+namespace pkifmm::octree {
+
+/// One octant of the local essential tree.
+struct LetNode {
+  morton::Key key;
+  std::int32_t parent = -1;          ///< index into Let::nodes, -1 for root
+  std::array<std::int32_t, 8> child; ///< -1 where absent from the LET
+  bool global_leaf = false;          ///< leaf of the *global* FMM tree
+  bool owned = false;                ///< this rank owns (evaluates) this leaf
+  bool target = false;               ///< owned leaf or ancestor of one
+  std::uint32_t point_begin = 0;     ///< into Let::points (leaves only)
+  std::uint32_t point_count = 0;
+  /// Leading points_of(n) entries that are evaluation targets (the
+  /// point layout puts targets first). Equals point_count when sources
+  /// and targets coincide (the paper's assumption).
+  std::uint32_t target_count = 0;
+
+  LetNode() { child.fill(-1); }
+};
+
+/// CSR adjacency: per-node spans of LET node indices.
+struct ListSet {
+  std::vector<std::int32_t> offset;  ///< size nodes+1
+  std::vector<std::int32_t> items;
+
+  std::span<const std::int32_t> of(std::size_t node) const {
+    return {items.data() + offset[node],
+            static_cast<std::size_t>(offset[node + 1] - offset[node])};
+  }
+  std::size_t total() const { return items.size(); }
+};
+
+/// The local essential tree plus interaction lists.
+struct Let {
+  std::vector<LetNode> nodes;   ///< Morton/preorder sorted
+  std::vector<PointRec> points; ///< owned + ghost, grouped per leaf
+  std::vector<morton::Bits> splitters;
+
+  /// U (direct), V (far-field same level), W, X lists. U and W are only
+  /// populated for owned leaves; V and X for all target octants.
+  ListSet u, v, w, x;
+
+  /// For the evaluation-time density refresh: (owned leaf node, ghost
+  /// consumer rank) subscriptions established during the LET exchange.
+  std::vector<std::pair<std::int32_t, std::int32_t>> ghost_subscriptions;
+
+  /// Node index by key, -1 if absent.
+  std::int32_t find(const morton::Key& k) const {
+    auto it = index_.find(k);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  std::span<const PointRec> points_of(const LetNode& n) const {
+    return {points.data() + n.point_begin, n.point_count};
+  }
+  std::span<PointRec> points_of(const LetNode& n) {
+    return {points.data() + n.point_begin, n.point_count};
+  }
+
+  /// Tree depth statistics (min/max level over global leaves).
+  int max_leaf_level() const;
+  int min_leaf_level() const;
+
+  std::unordered_map<morton::Key, std::int32_t, morton::KeyHash> index_;
+};
+
+/// Paper Algorithm 2: exchanges ghost octants and assembles the LET.
+/// Does NOT build the interaction lists; call build_interaction_lists.
+Let build_let(comm::Comm& c, const OwnedTree& tree);
+
+/// Builds U/V/W/X lists for every target node of the LET, per the
+/// definitions in Table I of the paper.
+void build_interaction_lists(Let& let);
+
+/// Re-sends the densities of owned leaves whose ghosts live on other
+/// ranks (the paper's first evaluation communication step). Call before
+/// each evaluation if densities changed since the LET was built.
+void refresh_ghost_densities(comm::Comm& c, Let& let);
+
+}  // namespace pkifmm::octree

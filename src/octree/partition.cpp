@@ -1,0 +1,83 @@
+#include "octree/partition.hpp"
+
+#include <algorithm>
+
+namespace pkifmm::octree {
+
+using morton::Bits;
+using morton::Key;
+
+namespace {
+
+/// Leaf header accompanying the migrated point stream.
+struct LeafMsg {
+  Bits bits;
+  std::uint8_t level;
+  std::uint32_t npoints;
+};
+static_assert(std::is_trivially_copyable_v<LeafMsg>);
+
+}  // namespace
+
+OwnedTree load_balance(comm::Comm& c, OwnedTree tree,
+                       const std::vector<double>& leaf_weights) {
+  const int p = c.size();
+  PKIFMM_CHECK(leaf_weights.size() == tree.leaves.size());
+
+  double local_w = 0.0;
+  for (double w : leaf_weights) local_w += w;
+  const double before = c.exscan_sum(local_w);
+  const double total = c.allreduce_sum(local_w);
+
+  // Degenerate all-zero weights: fall back to equal leaf counts.
+  const auto count_before =
+      c.exscan_sum(static_cast<std::uint64_t>(tree.leaves.size()));
+  const auto count_total =
+      c.allreduce_sum(static_cast<std::uint64_t>(tree.leaves.size()));
+
+  std::vector<std::vector<LeafMsg>> leaf_out(p);
+  std::vector<std::vector<PointRec>> pts_out(p);
+  double prefix = before;
+  for (std::size_t i = 0; i < tree.leaves.size(); ++i) {
+    const double w = leaf_weights[i];
+    int dest;
+    if (total > 0.0) {
+      // Assign by the midpoint of the leaf's weight interval, as in the
+      // generic weighted partition.
+      dest = static_cast<int>((prefix + 0.5 * w) / total * p);
+    } else {
+      dest = static_cast<int>((count_before + i) * p / count_total);
+    }
+    dest = std::clamp(dest, 0, p - 1);
+    prefix += w;
+    const std::uint32_t npts = static_cast<std::uint32_t>(
+        tree.leaf_point_offset[i + 1] - tree.leaf_point_offset[i]);
+    leaf_out[dest].push_back(
+        LeafMsg{morton::range_begin(tree.leaves[i]),
+                static_cast<std::uint8_t>(tree.leaves[i].level), npts});
+    pts_out[dest].insert(pts_out[dest].end(),
+                         tree.points.begin() + tree.leaf_point_offset[i],
+                         tree.points.begin() + tree.leaf_point_offset[i + 1]);
+  }
+
+  auto leaf_in = c.alltoallv(std::move(leaf_out));
+  auto pts_in = c.alltoallv(std::move(pts_out));
+
+  OwnedTree out;
+  // Rank-ordered concatenation preserves the global Morton order
+  // because destinations are monotone in the leaf order.
+  for (int r = 0; r < p; ++r) {
+    for (const LeafMsg& m : leaf_in[r])
+      out.leaves.push_back(Key{m.bits, m.level});
+    out.points.insert(out.points.end(), pts_in[r].begin(), pts_in[r].end());
+  }
+  PKIFMM_CHECK_MSG(
+      std::is_sorted(out.leaves.begin(), out.leaves.end()),
+      "migrated leaves are not in Morton order");
+
+  out.leaf_point_offset = build_leaf_csr(out.leaves, out.points);
+  out.splitters = recompute_splitters(c, out.leaves);
+  return out;
+}
+
+}  // namespace pkifmm::octree

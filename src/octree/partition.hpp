@@ -1,0 +1,26 @@
+#pragma once
+/// \file partition.hpp
+/// \brief Work-weighted leaf repartitioning (paper §III-B).
+///
+/// After the interaction lists are built, each leaf gets a weight equal
+/// to its estimated interaction work; leaves are then repartitioned so
+/// every rank holds a contiguous Morton range of approximately equal
+/// total weight (Algorithm 1 of Sundar et al.). Leaves migrate together
+/// with their points; the caller rebuilds the LET and lists afterwards,
+/// exactly as the paper does.
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "octree/build.hpp"
+
+namespace pkifmm::octree {
+
+/// Repartitions leaves (and their points) by weight. `leaf_weights` is
+/// aligned with tree.leaves. Returns the migrated tree with fresh
+/// splitters and CSR. Order (global Morton order of leaves) is
+/// preserved.
+OwnedTree load_balance(comm::Comm& c, OwnedTree tree,
+                       const std::vector<double>& leaf_weights);
+
+}  // namespace pkifmm::octree

@@ -1,0 +1,96 @@
+#include "octree/points.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace pkifmm::octree {
+
+Distribution distribution_from_name(const std::string& name) {
+  if (name == "uniform") return Distribution::kUniform;
+  if (name == "ellipsoid" || name == "nonuniform")
+    return Distribution::kEllipsoid;
+  if (name == "cluster") return Distribution::kCluster;
+  PKIFMM_CHECK_MSG(false, "unknown distribution '" << name << "'");
+  return Distribution::kUniform;
+}
+
+namespace {
+
+/// Point on the surface of a 1:1:4 ellipsoid, angles uniform in
+/// spherical coordinates (the paper's nonuniform distribution, §V).
+/// Uniform (theta, phi) sampling concentrates points near the poles of
+/// the long axis, producing strongly adaptive octrees. The ellipsoid is
+/// scaled/centered to fit inside the unit cube.
+void ellipsoid_point(Rng& rng, double out[3]) {
+  const double theta = rng.uniform() * std::numbers::pi;         // polar
+  const double phi = rng.uniform() * 2.0 * std::numbers::pi;     // azimuth
+  // Semi-axes 1:1:4 scaled into the cube: long axis along z.
+  const double a = 0.115, c = 0.46;
+  out[0] = 0.5 + a * std::sin(theta) * std::cos(phi);
+  out[1] = 0.5 + a * std::sin(theta) * std::sin(phi);
+  out[2] = 0.5 + c * std::cos(theta);
+}
+
+/// Clamped Box-Muller Gaussian around `center` with width sigma.
+void cluster_point(Rng& rng, std::uint64_t gid, double out[3]) {
+  if (gid % 20 == 0) {  // 5% uniform background
+    for (int d = 0; d < 3; ++d) out[d] = rng.uniform();
+    return;
+  }
+  const double center[3] = {0.3, 0.3, 0.3};
+  const double sigma = 0.02;
+  for (int d = 0; d < 3; ++d) {
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double g =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    out[d] = std::clamp(center[d] + sigma * g, 0.0, 1.0 - 1e-12);
+  }
+}
+
+}  // namespace
+
+std::vector<PointRec> generate_points(Distribution dist,
+                                      std::uint64_t n_global, int rank,
+                                      int nranks, int density_dim,
+                                      std::uint64_t seed) {
+  PKIFMM_CHECK(density_dim >= 1 && density_dim <= kMaxDensityDim);
+  const std::uint64_t begin = n_global * rank / nranks;
+  const std::uint64_t end = n_global * (rank + 1) / nranks;
+
+  std::vector<PointRec> pts;
+  pts.reserve(end - begin);
+  for (std::uint64_t g = begin; g < end; ++g) {
+    // Each point is a pure function of (seed, gid) so the *global* set
+    // is identical no matter how it is sliced across ranks — required
+    // for cross-p comparisons (e.g. strong-scaling benches and the
+    // distributed-vs-sequential tree equivalence tests).
+    Rng rng(seed ^ (0xd1342543de82ef95ULL * (g + 1)));
+    PointRec r{};
+    switch (dist) {
+      case Distribution::kUniform:
+        for (double& c : r.pos) c = rng.uniform();
+        break;
+      case Distribution::kEllipsoid:
+        ellipsoid_point(rng, r.pos);
+        break;
+      case Distribution::kCluster:
+        cluster_point(rng, g, r.pos);
+        break;
+    }
+    for (int d = 0; d < density_dim; ++d) r.den[d] = rng.uniform(-1.0, 1.0);
+    r.gid = g;
+    pts.push_back(r);
+  }
+  assign_morton_ids(pts);
+  return pts;
+}
+
+void assign_morton_ids(std::vector<PointRec>& pts) {
+  for (PointRec& r : pts)
+    r.key_bits = morton::cell_of_point(r.pos[0], r.pos[1], r.pos[2]).bits;
+}
+
+}  // namespace pkifmm::octree

@@ -1,0 +1,57 @@
+#pragma once
+/// \file check.hpp
+/// \brief Lightweight runtime checks used across pkifmm.
+///
+/// PKIFMM_CHECK is active in all build types (these guard algorithmic
+/// invariants whose violation would silently corrupt results), while
+/// PKIFMM_DCHECK compiles out in release builds and is meant for
+/// hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pkifmm {
+
+/// Thrown when a PKIFMM_CHECK fails. Using an exception (rather than
+/// abort) lets tests assert on failure paths.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "pkifmm check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace pkifmm
+
+#define PKIFMM_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::pkifmm::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define PKIFMM_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream pkifmm_check_os;                                  \
+      pkifmm_check_os << msg;                                              \
+      ::pkifmm::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                     pkifmm_check_os.str());               \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define PKIFMM_DCHECK(expr) ((void)0)
+#else
+#define PKIFMM_DCHECK(expr) PKIFMM_CHECK(expr)
+#endif

@@ -1,0 +1,47 @@
+#include "util/cli.hpp"
+
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace pkifmm {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    PKIFMM_CHECK_MSG(arg.rfind("--", 0) == 0,
+                     "expected --key=value argument, got '" << arg << "'");
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_[std::string(arg)] = "true";
+    } else {
+      kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace pkifmm

@@ -1,0 +1,27 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal --key=value command-line parsing for benches/examples.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pkifmm {
+
+/// Parses arguments of the form --key=value (or bare --flag, stored as
+/// "true"). Unrecognized positional arguments raise a CheckFailure.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace pkifmm

@@ -1,0 +1,47 @@
+#pragma once
+/// \file flops.hpp
+/// \brief Per-phase floating-point-operation accounting.
+///
+/// The paper's Table II and Fig. 5 report flops per phase and per
+/// process. Rather than sampling hardware counters (unavailable in the
+/// simulated setting), every compute routine in pkifmm reports its
+/// arithmetic work analytically to the rank-local FlopCounter; the model
+/// constants per kernel interaction live in kernels/kernel.hpp.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pkifmm {
+
+/// Rank-local flop accounting keyed by phase name. Not thread-safe by
+/// design: one instance per simulated rank.
+class FlopCounter {
+ public:
+  void add(const std::string& phase, std::uint64_t flops) {
+    phases_[phase] += flops;
+    total_ += flops;
+  }
+
+  std::uint64_t get(const std::string& phase) const {
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  const std::map<std::string, std::uint64_t>& phases() const {
+    return phases_;
+  }
+
+  void clear() {
+    phases_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> phases_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pkifmm

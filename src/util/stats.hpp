@@ -1,0 +1,89 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Small statistics helpers for per-rank metric aggregation.
+///
+/// The paper reports "Max" and "Avg" across processes for every phase
+/// (Table II); Summary computes exactly those reductions over a vector
+/// of per-rank values.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace pkifmm {
+
+/// Max/avg/min/stddev over a set of per-rank samples.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+
+  static Summary of(std::span<const double> xs) {
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty()) return s;
+    s.min = *std::min_element(xs.begin(), xs.end());
+    s.max = *std::max_element(xs.begin(), xs.end());
+    s.avg = std::accumulate(xs.begin(), xs.end(), 0.0) /
+            static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs) var += (x - s.avg) * (x - s.avg);
+    s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+    return s;
+  }
+
+  /// Load imbalance ratio: max/avg (1.0 = perfectly balanced).
+  double imbalance() const { return avg > 0.0 ? max / avg : 1.0; }
+};
+
+/// Online mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { PKIFMM_CHECK(n_ > 0); return min_; }
+  double max() const { PKIFMM_CHECK(n_ > 0); return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Relative L2 error between an approximate and a reference vector,
+/// ||a - r||_2 / ||r||_2. This is the accuracy metric used in the FMM
+/// literature when comparing against direct summation.
+inline double rel_l2_error(std::span<const double> approx,
+                           std::span<const double> ref) {
+  PKIFMM_CHECK(approx.size() == ref.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double d = approx[i] - ref[i];
+    num += d * d;
+    den += ref[i] * ref[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace pkifmm

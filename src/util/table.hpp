@@ -1,0 +1,44 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII table rendering for bench output.
+///
+/// Benches regenerate the paper's tables; Table renders rows/columns in
+/// the same layout (e.g. Table II: Event | Max. Time | Avg. Time |
+/// Max. Flops | Avg. Flops) with scientific-notation formatting matching
+/// the paper.
+
+#include <string>
+#include <vector>
+
+namespace pkifmm {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header underline.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats like the paper's tables: "1.37e+02".
+std::string sci(double v, int precision = 2);
+
+/// Formats a double with fixed precision, e.g. "2.15".
+std::string fixed(double v, int precision = 2);
+
+/// Human-friendly large integer, e.g. "1,048,576".
+std::string with_commas(std::uint64_t v);
+
+/// ASCII bar proportional to value/vmax, e.g. "#########.......". Used
+/// by the figure benches to render the paper's bar charts in text.
+std::string bar(double value, double vmax, int width = 24);
+
+}  // namespace pkifmm

@@ -1,0 +1,14 @@
+#include "util/timer.hpp"
+
+#include <ctime>
+
+namespace pkifmm {
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace pkifmm

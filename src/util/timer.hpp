@@ -1,0 +1,98 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing and named phase accumulation.
+///
+/// The paper reports per-phase wall-clock times (Table II, Figs. 3-4).
+/// PhaseTimer accumulates named intervals so the driver can report the
+/// same breakdown (Upward, U-list, V-list, W-list, X-list, Downward,
+/// Comm, ...).
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pkifmm {
+
+/// Monotonic wall-clock stopwatch, seconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU time in seconds (excludes time blocked on condition
+/// variables). With simulated ranks sharing physical cores, this — not
+/// wall time — measures the work a rank actually performed, and is what
+/// the benches combine with the interconnect model to produce per-rank
+/// "cluster" times.
+double thread_cpu_seconds();
+
+/// Accumulates wall and thread-CPU time into named phases. Not
+/// thread-safe: each simulated rank owns its own PhaseTimer.
+class PhaseTimer {
+ public:
+  /// RAII scope that adds its lifetime to the named phase.
+  class Scope {
+   public:
+    Scope(PhaseTimer& owner, std::string name)
+        : owner_(owner), name_(std::move(name)),
+          cpu_start_(thread_cpu_seconds()) {}
+    ~Scope() {
+      owner_.add(name_, timer_.seconds(),
+                 thread_cpu_seconds() - cpu_start_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseTimer& owner_;
+    std::string name_;
+    Timer timer_;
+    double cpu_start_;
+  };
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  void add(const std::string& name, double wall_seconds,
+           double cpu_seconds = 0.0) {
+    phases_[name] += wall_seconds;
+    cpu_phases_[name] += cpu_seconds;
+  }
+
+  double get(const std::string& name) const {
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  double get_cpu(const std::string& name) const {
+    auto it = cpu_phases_.find(name);
+    return it == cpu_phases_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, double>& phases() const { return phases_; }
+  const std::map<std::string, double>& cpu_phases() const {
+    return cpu_phases_;
+  }
+
+  void clear() {
+    phases_.clear();
+    cpu_phases_.clear();
+  }
+
+ private:
+  std::map<std::string, double> phases_;
+  std::map<std::string, double> cpu_phases_;
+};
+
+}  // namespace pkifmm

@@ -1,0 +1,214 @@
+/// 2:1 balance refinement (the DENDRO substrate of the paper's
+/// reference [16]).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/direct.hpp"
+#include "core/fmm.hpp"
+#include "octree/balance.hpp"
+#include "util/stats.hpp"
+
+namespace pkifmm::octree {
+namespace {
+
+using morton::Key;
+
+OwnedTree build_tree(comm::RankCtx& ctx, Distribution dist, std::uint64_t n,
+                     int q, std::uint64_t seed = 41) {
+  BuildParams bp;
+  bp.max_points_per_leaf = q;
+  return build_distributed_tree(
+      ctx.comm, generate_points(dist, n, ctx.rank(), ctx.size(), 1, seed),
+      bp);
+}
+
+std::vector<Key> gather_leaves(comm::Comm& c, const OwnedTree& t) {
+  return c.allgatherv_concat(std::span<const Key>(t.leaves));
+}
+
+TEST(Balance, DetectorAcceptsUniformGrid) {
+  // A full level-3 grid is trivially balanced.
+  std::vector<Key> leaves;
+  const morton::Coord s = morton::kGridSize / 8;
+  for (morton::Coord x = 0; x < 8; ++x)
+    for (morton::Coord y = 0; y < 8; ++y)
+      for (morton::Coord z = 0; z < 8; ++z)
+        leaves.push_back(morton::make_key(x * s, y * s, z * s, 3));
+  EXPECT_TRUE(is_2to1_balanced(leaves));
+}
+
+TEST(Balance, DetectorRejectsSharpContrast) {
+  // A level-1 leaf sharing a face with level-3 leaves violates 2:1.
+  std::vector<Key> leaves = {morton::make_key(0, 0, 0, 1)};
+  const morton::Coord h = morton::kGridSize / 2;
+  const morton::Coord s = morton::kGridSize / 8;
+  leaves.push_back(morton::make_key(h, 0, 0, 3));
+  EXPECT_FALSE(is_2to1_balanced(leaves));
+  // ...while a level-2 neighbor is fine.
+  leaves.back() = morton::make_key(h, 0, 0, 2);
+  EXPECT_TRUE(is_2to1_balanced(leaves));
+  (void)s;
+}
+
+void expect_balances(Distribution dist, int p, int q, std::uint64_t n) {
+  comm::Runtime::run(p, [&](comm::RankCtx& ctx) {
+    OwnedTree tree = build_tree(ctx, dist, n, q);
+    const auto before = gather_leaves(ctx.comm, tree);
+    const std::size_t pts_before = ctx.comm.allreduce_sum(
+        static_cast<std::uint64_t>(tree.points.size()));
+
+    const auto splits = balance_2to1(ctx.comm, tree);
+    const auto after = gather_leaves(ctx.comm, tree);
+
+    EXPECT_TRUE(is_2to1_balanced(after)) << "p=" << p;
+    if (!is_2to1_balanced(before)) {
+      EXPECT_GT(splits, 0u);
+    }
+    // Points preserved.
+    EXPECT_EQ(ctx.comm.allreduce_sum(
+                  static_cast<std::uint64_t>(tree.points.size())),
+              pts_before);
+    // Refinement only: every old leaf is covered by new leaves.
+    std::set<Key> after_set(after.begin(), after.end());
+    for (const Key& old : before) {
+      bool covered = after_set.count(old) > 0;
+      if (!covered) {
+        // Must be replaced by descendants.
+        covered = true;
+        bool any = false;
+        for (const Key& nk : after)
+          if (morton::is_ancestor(old, nk)) any = true;
+        covered = any;
+      }
+      EXPECT_TRUE(covered) << morton::to_string(old);
+    }
+    // CSR still valid and sorted.
+    EXPECT_TRUE(std::is_sorted(tree.leaves.begin(), tree.leaves.end()));
+    EXPECT_EQ(tree.leaf_point_offset.back(), tree.points.size());
+
+    // Idempotent: a second pass performs no splits.
+    EXPECT_EQ(balance_2to1(ctx.comm, tree), 0u);
+  });
+}
+
+TEST(Balance, NonuniformSequential) {
+  expect_balances(Distribution::kEllipsoid, 1, 8, 1500);
+}
+
+TEST(Balance, NonuniformParallel4) {
+  expect_balances(Distribution::kEllipsoid, 4, 8, 2000);
+}
+
+TEST(Balance, ClusterParallel4) {
+  expect_balances(Distribution::kCluster, 4, 10, 2000);
+}
+
+TEST(Balance, UniformNeedsFewSplits) {
+  comm::Runtime::run(2, [&](comm::RankCtx& ctx) {
+    OwnedTree tree = build_tree(ctx, Distribution::kUniform, 2000, 30);
+    const auto splits = balance_2to1(ctx.comm, tree);
+    // A uniform tree is already near-balanced.
+    const auto nleaves = ctx.comm.allreduce_sum(
+        static_cast<std::uint64_t>(tree.leaves.size()));
+    EXPECT_LT(splits, nleaves / 4);
+  });
+}
+
+TEST(Balance, BoundsLevelContrastInWLists) {
+  // With 2:1 balance, a W-list member's parent is adjacent to the leaf
+  // and at most one level finer, so W members are at most 2 levels
+  // finer than their target.
+  core::FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 6;
+  opts.balance_2to1 = true;
+  kernels::LaplaceKernel kern;
+  const core::Tables tables(kern, opts);
+  comm::Runtime::run(2, [&](comm::RankCtx& ctx) {
+    auto pts = generate_points(Distribution::kCluster, 2000, ctx.rank(), 2, 1,
+                               47);
+    core::ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    const auto& let = fmm.let();
+    for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+      if (!(let.nodes[i].owned && let.nodes[i].global_leaf)) continue;
+      for (auto wi : let.w.of(i))
+        EXPECT_LE(let.nodes[wi].key.level, let.nodes[i].key.level + 2);
+    }
+  });
+}
+
+TEST(Balance, EmptyLeavesFlowThroughLetAndLists) {
+  comm::Runtime::run(2, [&](comm::RankCtx& ctx) {
+    OwnedTree tree = build_tree(ctx, Distribution::kCluster, 1500, 10);
+    balance_2to1(ctx.comm, tree);
+
+    // Balancing a clustered tree must have produced empty leaves.
+    std::uint64_t empty = 0;
+    for (std::size_t i = 0; i < tree.leaves.size(); ++i)
+      if (tree.leaf_point_offset[i + 1] == tree.leaf_point_offset[i]) ++empty;
+    EXPECT_GT(ctx.comm.allreduce_sum(empty), 0u);
+
+    Let let = build_let(ctx.comm, tree);
+    build_interaction_lists(let);
+
+    // Empty leaves participate in U-lists as zero-point sources.
+    bool empty_in_ulist = false;
+    for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+      if (!(let.nodes[i].owned && let.nodes[i].global_leaf)) continue;
+      for (auto ui : let.u.of(i))
+        if (let.nodes[ui].point_count == 0) empty_in_ulist = true;
+    }
+    EXPECT_TRUE(ctx.comm.allreduce_max(empty_in_ulist ? 1 : 0) == 1);
+
+    // U-list symmetry still holds on the balanced tree (within the
+    // locally visible part).
+    for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+      if (!(let.nodes[i].owned && let.nodes[i].global_leaf)) continue;
+      for (auto ui : let.u.of(i)) {
+        if (!let.nodes[ui].owned) continue;
+        const auto back = let.u.of(ui);
+        EXPECT_TRUE(std::find(back.begin(), back.end(),
+                              static_cast<std::int32_t>(i)) != back.end());
+      }
+    }
+  });
+}
+
+TEST(Balance, FmmStaysAccurateOnBalancedTree) {
+  kernels::LaplaceKernel kern;
+  core::FmmOptions opts;
+  opts.surface_n = 6;
+  opts.max_points_per_leaf = 10;
+  opts.balance_2to1 = true;
+  const core::Tables tables(kern, opts);
+  comm::Runtime::run(4, [&](comm::RankCtx& ctx) {
+    auto pts = generate_points(Distribution::kCluster, 2000, ctx.rank(), 4, 1,
+                               49);
+    const auto mine = pts;
+    core::ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    auto result = fmm.evaluate();
+
+    const auto exact = core::direct_reference(ctx.comm, kern, mine);
+    struct GP {
+      std::uint64_t gid;
+      double v;
+    };
+    std::vector<GP> out(result.gids.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = {result.gids[i], result.potentials[i]};
+    auto all = ctx.comm.allgatherv_concat(std::span<const GP>(out));
+    std::unordered_map<std::uint64_t, double> by_gid;
+    for (const auto& g : all) by_gid.emplace(g.gid, g.v);
+    std::vector<double> approx(mine.size());
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      approx[i] = by_gid.at(mine[i].gid);
+    EXPECT_LT(rel_l2_error(approx, exact), 1e-4);
+  });
+}
+
+}  // namespace
+}  // namespace pkifmm::octree

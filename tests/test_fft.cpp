@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.hpp"
+#include "util/rng.hpp"
+
+namespace pkifmm::fft {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+double max_err(std::span<const Complex> a, std::span<const Complex> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+/// O(n^2) reference DFT.
+std::vector<Complex> dft(std::span<const Complex> a, bool inverse) {
+  const std::size_t n = a.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(k * j) / static_cast<double>(n);
+      acc += a[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<Complex> a = {Complex(3.0, -2.0)};
+  fft_inplace(a, false);
+  EXPECT_EQ(a[0], Complex(3.0, -2.0));
+}
+
+TEST(Fft, MatchesReferenceDft) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u}) {
+    auto a = random_signal(n, n);
+    auto ref = dft(a, false);
+    fft_inplace(a, false);
+    EXPECT_LT(max_err(a, ref), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Fft, InverseMatchesReferenceDft) {
+  auto a = random_signal(32, 77);
+  auto ref = dft(a, true);
+  fft_inplace(a, true);
+  EXPECT_LT(max_err(a, ref), 1e-10);
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  for (std::size_t n : {8u, 128u, 1024u}) {
+    auto a = random_signal(n, 100 + n);
+    auto orig = a;
+    fft_inplace(a, false);
+    fft_inplace(a, true);
+    EXPECT_LT(max_err(a, orig), 1e-11) << "n=" << n;
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> a(12);
+  EXPECT_ANY_THROW(fft_inplace(a, false));
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> a(16, Complex(0.0, 0.0));
+  a[0] = 1.0;
+  fft_inplace(a, false);
+  for (const auto& x : a) EXPECT_NEAR(std::abs(x - Complex(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Fft, LinearityHolds) {
+  auto a = random_signal(64, 1);
+  auto b = random_signal(64, 2);
+  std::vector<Complex> sum(64);
+  for (int i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  fft_inplace(a, false);
+  fft_inplace(b, false);
+  fft_inplace(sum, false);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_LT(std::abs(sum[i] - (2.0 * a[i] + 3.0 * b[i])), 1e-10);
+}
+
+TEST(Fft3d, RoundTrip) {
+  Fft3d plan(8);
+  auto vol = random_signal(plan.volume(), 9);
+  auto orig = vol;
+  plan.forward(vol);
+  plan.inverse(vol);
+  EXPECT_LT(max_err(vol, orig), 1e-11);
+}
+
+TEST(Fft3d, SeparableProductTransform) {
+  // FFT of a separable function f(x,y,z) = gx(x) gy(y) gz(z) is the
+  // tensor product of 1-D FFTs.
+  const std::size_t n = 8;
+  auto gx = random_signal(n, 11), gy = random_signal(n, 12),
+       gz = random_signal(n, 13);
+  Fft3d plan(n);
+  std::vector<Complex> vol(plan.volume());
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x)
+        vol[(z * n + y) * n + x] = gx[x] * gy[y] * gz[z];
+  plan.forward(vol);
+  auto fx = gx, fy = gy, fz = gz;
+  fft_inplace(fx, false);
+  fft_inplace(fy, false);
+  fft_inplace(fz, false);
+  double err = 0.0;
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x)
+        err = std::max(err, std::abs(vol[(z * n + y) * n + x] -
+                                     fx[x] * fy[y] * fz[z]));
+  EXPECT_LT(err, 1e-10);
+}
+
+TEST(Fft3d, CircularConvolutionViaFrequencyProduct) {
+  // IFFT(FFT(f) .* FFT(g)) equals the circular convolution of f and g.
+  const std::size_t n = 4;
+  Fft3d plan(n);
+  auto f = random_signal(plan.volume(), 21);
+  auto g = random_signal(plan.volume(), 22);
+
+  // Direct circular convolution.
+  std::vector<Complex> direct(plan.volume(), Complex(0, 0));
+  auto idx = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return (z * n + y) * n + x;
+  };
+  for (std::size_t az = 0; az < n; ++az)
+    for (std::size_t ay = 0; ay < n; ++ay)
+      for (std::size_t ax = 0; ax < n; ++ax)
+        for (std::size_t bz = 0; bz < n; ++bz)
+          for (std::size_t by = 0; by < n; ++by)
+            for (std::size_t bx = 0; bx < n; ++bx)
+              direct[idx(ax, ay, az)] +=
+                  f[idx(bx, by, bz)] *
+                  g[idx((ax - bx + n) % n, (ay - by + n) % n,
+                        (az - bz + n) % n)];
+
+  auto fh = f, gh = g;
+  plan.forward(fh);
+  plan.forward(gh);
+  std::vector<Complex> prod(plan.volume(), Complex(0, 0));
+  pointwise_mac(gh, fh, prod);
+  plan.inverse(prod);
+  EXPECT_LT(max_err(prod, direct), 1e-10);
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(7), 8u);
+  EXPECT_EQ(next_pow2(8), 8u);
+  EXPECT_EQ(next_pow2(11), 16u);
+  EXPECT_EQ(next_pow2(15), 16u);
+}
+
+TEST(PointwiseMac, Accumulates) {
+  std::vector<Complex> g = {Complex(1, 1), Complex(2, 0)};
+  std::vector<Complex> f = {Complex(0, 1), Complex(3, 0)};
+  std::vector<Complex> acc = {Complex(1, 0), Complex(0, 0)};
+  pointwise_mac(g, f, acc);
+  EXPECT_EQ(acc[0], Complex(1, 0) + Complex(1, 1) * Complex(0, 1));
+  EXPECT_EQ(acc[1], Complex(6, 0));
+}
+
+TEST(Fft3d, TransformFlopsPositiveAndScales) {
+  Fft3d a(8), b(16);
+  EXPECT_GT(a.transform_flops(), 0u);
+  EXPECT_GT(b.transform_flops(), a.transform_flops());
+}
+
+TEST(Fft, ParsevalIdentityHolds) {
+  auto a = random_signal(256, 55);
+  double time_energy = 0.0;
+  for (const auto& x : a) time_energy += std::norm(x);
+  fft_inplace(a, false);
+  double freq_energy = 0.0;
+  for (const auto& x : a) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-10 * time_energy);
+}
+
+TEST(Fft, RealSignalHasConjugateSymmetricSpectrum) {
+  Rng rng(66);
+  std::vector<Complex> a(64);
+  for (auto& x : a) x = Complex(rng.uniform(-1, 1), 0.0);
+  fft_inplace(a, false);
+  for (std::size_t k = 1; k < a.size(); ++k)
+    EXPECT_LT(std::abs(a[k] - std::conj(a[a.size() - k])), 1e-10);
+}
+
+TEST(Fft, ShiftTheoremPhaseRamp) {
+  // FFT of a cyclically shifted signal = phase-ramped spectrum.
+  auto a = random_signal(32, 67);
+  std::vector<Complex> shifted(32);
+  for (int i = 0; i < 32; ++i) shifted[i] = a[(i + 31) % 32];  // shift by 1
+  auto fa = a, fs = shifted;
+  fft_inplace(fa, false);
+  fft_inplace(fs, false);
+  for (int k = 0; k < 32; ++k) {
+    const double ang = -2.0 * std::numbers::pi * k / 32.0;
+    const Complex ramp(std::cos(ang), std::sin(ang));
+    EXPECT_LT(std::abs(fs[k] - fa[k] * ramp), 1e-10) << k;
+  }
+}
+
+}  // namespace
+}  // namespace pkifmm::fft

@@ -1,0 +1,309 @@
+/// Unit-level tests of the individual device kernels against hand-built
+/// inputs and the double-precision reference, plus the W/X offload
+/// extension.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/direct.hpp"
+#include "core/fmm.hpp"
+#include "core/surface.hpp"
+#include "gpu/evaluator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pkifmm::gpu {
+namespace {
+
+using octree::Distribution;
+
+/// A tiny hand-built GpuLet: one target box, its own points as the
+/// only U-segment.
+GpuLet tiny_let(int ntargets, int block, std::uint64_t seed) {
+  GpuLet g;
+  g.block = block;
+  g.m = core::surface_point_count(4);
+  Rng rng(seed);
+  GpuLet::Box box{};
+  box.let_node = 0;
+  box.trg_begin = 0;
+  box.count = ntargets;
+  box.let_point_begin = 0;
+  box.cx = box.cy = box.cz = 0.5f;
+  box.hw = 0.25f;
+  box.src_begin = 0;
+  for (int i = 0; i < ntargets; ++i) {
+    g.sx.push_back(0.25f + 0.5f * static_cast<float>(rng.uniform()));
+    g.sy.push_back(0.25f + 0.5f * static_cast<float>(rng.uniform()));
+    g.sz.push_back(0.25f + 0.5f * static_cast<float>(rng.uniform()));
+    g.sq.push_back(static_cast<float>(rng.uniform(-1, 1)));
+  }
+  const int padded = (ntargets + block - 1) / block * block;
+  for (int i = 0; i < padded; ++i) {
+    const int j = std::min(i, ntargets - 1);
+    g.tx.push_back(g.sx[j]);
+    g.ty.push_back(g.sy[j]);
+    g.tz.push_back(g.sz[j]);
+  }
+  for (int c = 0; c < padded / block; ++c) {
+    g.chunk_box.push_back(0);
+    g.chunk_trg.push_back(c * block);
+  }
+  box.seg_begin = 0;
+  g.seg_src_begin.push_back(0);
+  g.seg_src_count.push_back(ntargets);
+  box.seg_end = 1;
+  g.boxes.push_back(box);
+  return g;
+}
+
+TEST(UliKernel, MatchesDirectSummationWithSelfExclusion) {
+  for (int n : {5, 64, 100}) {
+    const GpuLet g = tiny_let(n, 32, n);
+    StreamDevice dev;
+    Workspace ws = make_workspace(dev, g);
+    run_uli(dev, g, ws);
+    const auto f = dev.to_host(ws.f);
+
+    // Double-precision direct reference with self-interaction skipped.
+    for (int t = 0; t < n; ++t) {
+      double expect = 0.0;
+      for (int s = 0; s < n; ++s) {
+        const double dx = double(g.tx[t]) - g.sx[s];
+        const double dy = double(g.ty[t]) - g.sy[s];
+        const double dz = double(g.tz[t]) - g.sz[s];
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 == 0.0) continue;
+        expect += g.sq[s] / (4.0 * std::numbers::pi * std::sqrt(r2));
+      }
+      EXPECT_NEAR(f[t], expect, 2e-4 * (std::abs(expect) + 1.0)) << t;
+    }
+  }
+}
+
+TEST(UliKernel, PaddedSlotsAreNotWrittenBack) {
+  const GpuLet g = tiny_let(5, 32, 3);  // 27 padded slots
+  StreamDevice dev;
+  Workspace ws = make_workspace(dev, g);
+  run_uli(dev, g, ws);
+  const auto f = dev.to_host(ws.f);
+  for (std::size_t i = 5; i < f.size(); ++i) EXPECT_EQ(f[i], 0.0f);
+}
+
+TEST(UliKernel, RecordsTiledTraffic) {
+  const GpuLet g = tiny_let(128, 64, 9);
+  StreamDevice dev;
+  Workspace ws = make_workspace(dev, g);
+  const auto flops = run_uli(dev, g, ws);
+  EXPECT_EQ(flops, dev.kernels().at("uli").flops);
+  // 2 chunks x 64 threads x 128 sources x 10 flops.
+  EXPECT_EQ(flops, 10ull * 128 * 128);
+  EXPECT_GT(dev.kernels().at("uli").gmem_bytes, 0u);
+}
+
+TEST(VliDiagKernel, AccumulatesPointwiseProducts) {
+  VliBatch batch;
+  batch.vol = 8;
+  Rng rng(4);
+  // 2 sources, 2 translation spectra, 1 target with both pairs.
+  batch.src_spectra.resize(2 * batch.vol);
+  batch.g_spectra.resize(2 * batch.vol);
+  for (auto& c : batch.src_spectra)
+    c = {float(rng.uniform(-1, 1)), float(rng.uniform(-1, 1))};
+  for (auto& c : batch.g_spectra)
+    c = {float(rng.uniform(-1, 1)), float(rng.uniform(-1, 1))};
+  batch.pair_src = {0, 1};
+  batch.pair_g = {1, 0};
+  batch.target_offset = {0, 2};
+
+  StreamDevice dev;
+  std::uint64_t flops = 0;
+  const auto out = run_vli_diag(dev, batch, &flops);
+  ASSERT_EQ(out.size(), batch.vol);
+  for (std::size_t i = 0; i < batch.vol; ++i) {
+    const auto expect = batch.g_spectra[batch.vol + i] * batch.src_spectra[i] +
+                        batch.g_spectra[i] * batch.src_spectra[batch.vol + i];
+    EXPECT_NEAR(std::abs(out[i] - expect), 0.0f, 1e-5);
+  }
+  EXPECT_EQ(flops, 2ull * 8 * batch.vol);
+}
+
+TEST(GpuWx, OffloadMatchesCpuOnNonuniformTree) {
+  kernels::LaplaceKernel kern;
+  core::FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 20;
+  const core::Tables tables(kern, opts);
+  comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+    octree::BuildParams bp;
+    bp.max_points_per_leaf = 20;
+    auto tree = octree::build_distributed_tree(
+        ctx.comm,
+        octree::generate_points(Distribution::kEllipsoid, 2500, 0, 1, 1, 31),
+        bp);
+    octree::Let let = octree::build_let(ctx.comm, tree);
+    octree::build_interaction_lists(let);
+    // W/X must actually be exercised.
+    EXPECT_GT(let.w.total(), 0u);
+    EXPECT_GT(let.x.total(), 0u);
+
+    core::Evaluator cpu(tables, let, ctx);
+    cpu.run();
+
+    StreamDevice dev;
+    GpuEvaluator gpu(tables, let, ctx, dev, 64, /*offload_wx=*/true);
+    gpu.run();
+
+    std::vector<double> pc(cpu.potential().begin(), cpu.potential().end());
+    std::vector<double> pg(gpu.potential().begin(), gpu.potential().end());
+    EXPECT_LT(rel_l2_error(pg, pc), 2e-4);
+    EXPECT_GT(dev.kernels().at("wli").flops, 0u);
+    EXPECT_GT(dev.kernels().at("xli").flops, 0u);
+  });
+}
+
+TEST(GpuWx, OffloadMatchesCpuOnClusterTree) {
+  kernels::LaplaceKernel kern;
+  core::FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 15;
+  const core::Tables tables(kern, opts);
+  comm::Runtime::run(2, [&](comm::RankCtx& ctx) {
+    octree::BuildParams bp;
+    bp.max_points_per_leaf = 15;
+    auto tree = octree::build_distributed_tree(
+        ctx.comm,
+        octree::generate_points(Distribution::kCluster, 2000, ctx.rank(), 2, 1,
+                                33),
+        bp);
+    octree::Let let = octree::build_let(ctx.comm, tree);
+    octree::build_interaction_lists(let);
+
+    core::Evaluator cpu(tables, let, ctx);
+    cpu.run();
+    StreamDevice dev;
+    GpuEvaluator gpu(tables, let, ctx, dev, 32, /*offload_wx=*/true);
+    gpu.run();
+
+    std::vector<double> pc, pg;
+    for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+      const auto& nd = let.nodes[i];
+      if (!(nd.owned && nd.global_leaf)) continue;
+      for (std::uint32_t k = 0; k < nd.point_count; ++k) {
+        pc.push_back(cpu.potential()[nd.point_begin + k]);
+        pg.push_back(gpu.potential()[nd.point_begin + k]);
+      }
+    }
+    EXPECT_LT(rel_l2_error(pg, pc), 3e-4);
+  });
+}
+
+TEST(GpuWx, AgreesWithDirectSummation) {
+  kernels::LaplaceKernel kern;
+  core::FmmOptions opts;
+  opts.surface_n = 6;
+  opts.max_points_per_leaf = 25;
+  const core::Tables tables(kern, opts);
+  comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(Distribution::kEllipsoid, 1800, 0, 1, 1,
+                                       35);
+    octree::BuildParams bp;
+    bp.max_points_per_leaf = 25;
+    auto tree = octree::build_distributed_tree(ctx.comm, pts, bp);
+    octree::Let let = octree::build_let(ctx.comm, tree);
+    octree::build_interaction_lists(let);
+
+    StreamDevice dev;
+    GpuEvaluator gpu(tables, let, ctx, dev, 64, /*offload_wx=*/true);
+    gpu.run();
+
+    std::vector<octree::PointRec> owned;
+    std::vector<double> approx;
+    for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+      const auto& nd = let.nodes[i];
+      if (!(nd.owned && nd.global_leaf)) continue;
+      for (std::uint32_t k = 0; k < nd.point_count; ++k) {
+        owned.push_back(let.points[nd.point_begin + k]);
+        approx.push_back(gpu.potential()[nd.point_begin + k]);
+      }
+    }
+    const auto exact = core::direct_reference(ctx.comm, kern, owned);
+    // Single-precision device accumulation bounds the agreement.
+    EXPECT_LT(rel_l2_error(approx, exact), 3e-4);
+  });
+}
+
+TEST(GpuWx, DefaultConfigurationKeepsWxOnCpu) {
+  // Without the extension flag, the device must see only the paper's
+  // four kernels — W/X stay on the CPU (paper §IV).
+  kernels::LaplaceKernel kern;
+  core::FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 20;
+  const core::Tables tables(kern, opts);
+  comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+    octree::BuildParams bp;
+    bp.max_points_per_leaf = 20;
+    auto tree = octree::build_distributed_tree(
+        ctx.comm,
+        octree::generate_points(Distribution::kEllipsoid, 1500, 0, 1, 1, 39),
+        bp);
+    octree::Let let = octree::build_let(ctx.comm, tree);
+    octree::build_interaction_lists(let);
+    StreamDevice dev;
+    GpuEvaluator gpu(tables, let, ctx, dev, 64);  // offload_wx defaults off
+    gpu.run();
+    EXPECT_EQ(dev.kernels().count("wli"), 0u);
+    EXPECT_EQ(dev.kernels().count("xli"), 0u);
+    EXPECT_EQ(dev.kernels().count("uli"), 1u);
+  });
+}
+
+TEST(GpuWx, SoaCarriesWxSegments) {
+  kernels::LaplaceKernel kern;
+  core::FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 10;
+  const core::Tables tables(kern, opts);
+  comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+    octree::BuildParams bp;
+    bp.max_points_per_leaf = 10;
+    auto tree = octree::build_distributed_tree(
+        ctx.comm,
+        octree::generate_points(Distribution::kEllipsoid, 1200, 0, 1, 1, 37),
+        bp);
+    octree::Let let = octree::build_let(ctx.comm, tree);
+    octree::build_interaction_lists(let);
+    const GpuLet g = build_gpu_let(tables, let, 32);
+
+    std::size_t w_total = 0, x_total = 0;
+    for (const auto& box : g.boxes) {
+      w_total += box.wseg_end - box.wseg_begin;
+      std::size_t xp = 0;
+      for (auto s = box.xseg_begin; s < box.xseg_end; ++s)
+        xp += g.xseg_src_count[s];
+      // X segments must carry the same points as the LET X-list.
+      std::size_t expect = 0;
+      for (auto xi : let.x.of(box.let_node))
+        expect += let.nodes[xi].point_count;
+      EXPECT_EQ(xp, expect);
+      x_total += xp;
+      // W slots reference valid geometry.
+      for (auto s = box.wseg_begin; s < box.wseg_end; ++s) {
+        const auto slot = g.wseg_slot[s];
+        ASSERT_LT(static_cast<std::size_t>(slot), g.wsrc_hw.size());
+        EXPECT_GT(g.wsrc_hw[slot], 0.0f);
+      }
+      // Same W cardinality as the LET list.
+      EXPECT_EQ(static_cast<std::size_t>(box.wseg_end - box.wseg_begin),
+                let.w.of(box.let_node).size());
+    }
+    EXPECT_GT(w_total, 0u);
+    EXPECT_GT(x_total, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace pkifmm::gpu

@@ -1,0 +1,225 @@
+/// Force/gradient evaluation (extension beyond the paper): the
+/// gradient companion kernels and Evaluator::target_gradient.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/direct.hpp"
+#include "core/fmm.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pkifmm::core {
+namespace {
+
+using octree::Distribution;
+using octree::PointRec;
+
+// ---------------------------------------------------------------------
+// Gradient kernels vs finite differences of the base kernels.
+// ---------------------------------------------------------------------
+
+void expect_gradient_matches_fd(const kernels::Kernel& base,
+                                const kernels::Kernel& grad) {
+  Rng rng(3);
+  const double h = 1e-6;
+  for (int trial = 0; trial < 50; ++trial) {
+    double d[3];
+    for (double& c : d) c = rng.uniform(-1.0, 1.0);
+    const double r = std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
+    if (r < 0.1) continue;
+    double g[3];
+    grad.block(d, g);
+    for (int c = 0; c < 3; ++c) {
+      double dp[3] = {d[0], d[1], d[2]}, dm[3] = {d[0], d[1], d[2]};
+      dp[c] += h;
+      dm[c] -= h;
+      double vp, vm;
+      base.block(dp, &vp);
+      base.block(dm, &vm);
+      EXPECT_NEAR(g[c], (vp - vm) / (2.0 * h), 1e-5 * (std::abs(g[c]) + 1.0));
+    }
+  }
+}
+
+TEST(GradKernel, LaplaceGradMatchesFiniteDifference) {
+  kernels::LaplaceKernel base;
+  auto grad = base.gradient();
+  ASSERT_NE(grad, nullptr);
+  EXPECT_EQ(grad->name(), "laplace-grad");
+  EXPECT_EQ(grad->target_dim(), 3);
+  expect_gradient_matches_fd(base, *grad);
+}
+
+TEST(GradKernel, YukawaGradMatchesFiniteDifference) {
+  kernels::YukawaKernel base(4.0);
+  auto grad = base.gradient();
+  ASSERT_NE(grad, nullptr);
+  expect_gradient_matches_fd(base, *grad);
+}
+
+TEST(GradKernel, SelfInteractionIsZero) {
+  kernels::LaplaceGradKernel g;
+  const double d[3] = {0, 0, 0};
+  double out[3] = {1, 1, 1};
+  g.block(d, out);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[2], 0.0);
+}
+
+TEST(GradKernel, LaplaceGradHomogeneityDegreeMinusTwo) {
+  kernels::LaplaceGradKernel g;
+  const double d[3] = {0.2, -0.1, 0.3};
+  const double s[3] = {0.4, -0.2, 0.6};
+  double g1[3], g2[3];
+  g.block(d, g1);
+  g.block(s, g2);
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(g2[c], 0.25 * g1[c], 1e-14);
+}
+
+TEST(GradKernel, StokesHasNoGradientCompanion) {
+  kernels::StokesKernel base;
+  EXPECT_EQ(base.gradient(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end FMM gradients vs direct gradient summation.
+// ---------------------------------------------------------------------
+
+void expect_fmm_gradient_accurate(const char* kernel_name, Distribution dist,
+                                  int p, int q, double tol) {
+  auto kernel = kernels::make_kernel(kernel_name);
+  auto gradk = kernel->gradient();
+  FmmOptions opts;
+  opts.surface_n = 6;
+  opts.max_points_per_leaf = q;
+  if ((p & (p - 1)) != 0) opts.reduce = ReduceMode::kOwner;
+  const Tables tables(*kernel, opts);
+
+  comm::Runtime::run(p, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(dist, 1500, ctx.rank(), p, 1, 27);
+    const auto mine = pts;
+    ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    auto result = fmm.evaluate(/*with_gradient=*/true);
+    ASSERT_EQ(result.gradients.size(), 3 * result.gids.size());
+
+    // Exact gradients via direct summation with the gradient kernel.
+    auto all = ctx.comm.allgatherv_concat(std::span<const PointRec>(mine));
+    const auto exact = direct_local(*gradk, mine, all);
+
+    struct GG {
+      std::uint64_t gid;
+      double g[3];
+    };
+    std::vector<GG> out(result.gids.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i].gid = result.gids[i];
+      for (int c = 0; c < 3; ++c) out[i].g[c] = result.gradients[3 * i + c];
+    }
+    auto gathered = ctx.comm.allgatherv_concat(std::span<const GG>(out));
+    std::unordered_map<std::uint64_t, const GG*> by_gid;
+    for (const auto& g : gathered) by_gid.emplace(g.gid, &g);
+
+    std::vector<double> approx(exact.size());
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      for (int c = 0; c < 3; ++c)
+        approx[3 * i + c] = by_gid.at(mine[i].gid)->g[c];
+    EXPECT_LT(rel_l2_error(approx, exact), tol) << kernel_name;
+  });
+}
+
+TEST(FmmGradient, LaplaceUniformSequential) {
+  expect_fmm_gradient_accurate("laplace", Distribution::kUniform, 1, 40, 1e-3);
+}
+
+TEST(FmmGradient, LaplaceNonuniformParallel) {
+  expect_fmm_gradient_accurate("laplace", Distribution::kEllipsoid, 4, 20,
+                               1e-3);
+}
+
+TEST(FmmGradient, LaplaceClusterParallel) {
+  expect_fmm_gradient_accurate("laplace", Distribution::kCluster, 2, 25, 1e-3);
+}
+
+TEST(FmmGradient, YukawaSequential) {
+  expect_fmm_gradient_accurate("yukawa", Distribution::kUniform, 1, 40, 1e-3);
+}
+
+TEST(FmmGradient, StokesRequestThrows) {
+  kernels::StokesKernel kernel;
+  FmmOptions opts;
+  opts.surface_n = 4;
+  const Tables tables(kernel, opts);
+  EXPECT_THROW(
+      comm::Runtime::run(1,
+                         [&](comm::RankCtx& ctx) {
+                           auto pts = octree::generate_points(
+                               Distribution::kUniform, 300, 0, 1, 3, 2);
+                           ParallelFmm fmm(ctx, tables);
+                           fmm.setup(std::move(pts));
+                           (void)fmm.evaluate(/*with_gradient=*/true);
+                         }),
+      CheckFailure);
+}
+
+TEST(FmmGradient, GravityPullsTowardCluster) {
+  // Physics sanity: with all-positive masses concentrated in a cluster,
+  // -grad(phi)... with phi = sum m/(4 pi r) the field grad(phi) points
+  // AWAY from the mass at exterior points (phi decreases outward), so
+  // the attractive acceleration is +grad(phi) in this sign convention
+  // ... verify directionally: grad(phi) at a far probe points toward
+  // the cluster center. d/dx (1/r) = -x/r^3: for a probe at x > 0 with
+  // mass at origin, gradient is negative — i.e. toward the mass.
+  kernels::LaplaceKernel kernel;
+  FmmOptions opts;
+  opts.surface_n = 6;
+  opts.max_points_per_leaf = 30;
+  const Tables tables(kernel, opts);
+  comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(Distribution::kCluster, 2000, 0, 1, 1,
+                                       55);
+    for (auto& pt : pts) pt.den[0] = 1.0;  // positive masses
+    ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    auto result = fmm.evaluate(true);
+
+    // Find the owned point farthest from the cluster center (0.3^3).
+    double best = -1.0;
+    std::array<double, 3> probe_dir{};
+    std::array<double, 3> probe_grad{};
+    std::unordered_map<std::uint64_t, std::size_t> idx;
+    for (std::size_t i = 0; i < result.gids.size(); ++i)
+      idx[result.gids[i]] = i;
+    for (const auto& node : fmm.let().nodes) {
+      if (!node.owned) continue;
+      for (const auto& pt : fmm.let().points_of(node)) {
+        const double dx = pt.pos[0] - 0.3, dy = pt.pos[1] - 0.3,
+                     dz = pt.pos[2] - 0.3;
+        const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+        if (r > best) {
+          best = r;
+          probe_dir = {dx / r, dy / r, dz / r};
+          const std::size_t k = idx.at(pt.gid);
+          probe_grad = {result.gradients[3 * k], result.gradients[3 * k + 1],
+                        result.gradients[3 * k + 2]};
+        }
+      }
+    }
+    ASSERT_GT(best, 0.3);  // the probe is genuinely outside the core
+    const double radial = probe_grad[0] * probe_dir[0] +
+                          probe_grad[1] * probe_dir[1] +
+                          probe_grad[2] * probe_dir[2];
+    EXPECT_LT(radial, 0.0);  // gradient points back toward the mass
+    // And it is dominantly radial (Newton's shell intuition).
+    const double mag = std::sqrt(probe_grad[0] * probe_grad[0] +
+                                 probe_grad[1] * probe_grad[1] +
+                                 probe_grad[2] * probe_grad[2]);
+    EXPECT_GT(-radial, 0.8 * mag);
+  });
+}
+
+}  // namespace
+}  // namespace pkifmm::core

@@ -1,0 +1,252 @@
+/// Separate source/target point sets — the generalization the paper
+/// sets aside ("for simplicity in this paper we assume that source and
+/// target points coincide", §II). Typical use: a measurement grid
+/// (targets only) immersed in a charge cloud (sources only).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "core/direct.hpp"
+#include "core/fmm.hpp"
+#include "gpu/evaluator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pkifmm::core {
+namespace {
+
+using octree::Distribution;
+using octree::PointRec;
+
+/// Sources: random cloud in [0.1,0.9]^3 (gids 0..nsrc). Targets: a
+/// plane z = 0.55 grid (gids nsrc..nsrc+ntrg), no densities.
+std::vector<PointRec> make_mixed(std::uint64_t nsrc, int grid, int rank,
+                                 int p) {
+  std::vector<PointRec> pts;
+  const std::uint64_t total = nsrc + std::uint64_t(grid) * grid;
+  const std::uint64_t b = total * rank / p, e = total * (rank + 1) / p;
+  for (std::uint64_t g = b; g < e; ++g) {
+    PointRec r{};
+    r.gid = g;
+    if (g < nsrc) {
+      Rng rng(500 + g);
+      for (double& c : r.pos) c = rng.uniform(0.1, 0.9);
+      r.den[0] = rng.uniform(-1, 1);
+      r.kind = octree::kSource;
+    } else {
+      const std::uint64_t k = g - nsrc;
+      r.pos[0] = 0.1 + 0.8 * double(k % grid) / (grid - 1);
+      r.pos[1] = 0.1 + 0.8 * double(k / grid) / (grid - 1);
+      r.pos[2] = 0.55;
+      r.kind = octree::kTarget;
+    }
+    pts.push_back(r);
+  }
+  octree::assign_morton_ids(pts);
+  return pts;
+}
+
+TEST(SeparateTargets, PointKindDefaults) {
+  PointRec r{};
+  EXPECT_TRUE(r.is_source());
+  EXPECT_TRUE(r.is_target());
+}
+
+TEST(SeparateTargets, LetPutsTargetsFirstInEachLeaf) {
+  comm::Runtime::run(2, [&](comm::RankCtx& ctx) {
+    octree::BuildParams bp;
+    bp.max_points_per_leaf = 12;
+    auto tree = octree::build_distributed_tree(
+        ctx.comm, make_mixed(600, 20, ctx.rank(), 2), bp);
+    octree::Let let = octree::build_let(ctx.comm, tree);
+    for (const auto& nd : let.nodes) {
+      if (!nd.global_leaf) continue;
+      const auto pts = let.points_of(nd);
+      for (std::uint32_t k = 0; k < nd.point_count; ++k)
+        EXPECT_EQ(pts[k].is_target(), k < nd.target_count)
+            << morton::to_string(nd.key);
+    }
+  });
+}
+
+void expect_plane_accurate(int p, int q, int surface_n, double tol) {
+  kernels::LaplaceKernel kernel;
+  FmmOptions opts;
+  opts.surface_n = surface_n;
+  opts.max_points_per_leaf = q;
+  if ((p & (p - 1)) != 0) opts.reduce = ReduceMode::kOwner;
+  const Tables tables(kernel, opts);
+
+  comm::Runtime::run(p, [&](comm::RankCtx& ctx) {
+    auto pts = make_mixed(1500, 16, ctx.rank(), p);
+    const auto mine = pts;
+    ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    auto result = fmm.evaluate();
+
+    // Result gids must be exactly the target gids this rank owns.
+    for (auto gid : result.gids) EXPECT_GE(gid, 1500u);
+    const auto total_results = ctx.comm.allreduce_sum(
+        static_cast<std::uint64_t>(result.gids.size()));
+    EXPECT_EQ(total_results, 16u * 16u);
+
+    // Exact reference at the targets.
+    auto all = ctx.comm.allgatherv_concat(std::span<const PointRec>(mine));
+    std::vector<PointRec> my_targets;
+    for (const auto& pt : mine)
+      if (pt.is_target()) my_targets.push_back(pt);
+    const auto exact = direct_local(kernel, my_targets, all);
+
+    struct GP {
+      std::uint64_t gid;
+      double v;
+    };
+    std::vector<GP> out(result.gids.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = {result.gids[i], result.potentials[i]};
+    auto gathered = ctx.comm.allgatherv_concat(std::span<const GP>(out));
+    std::unordered_map<std::uint64_t, double> by_gid;
+    for (const auto& g : gathered) by_gid.emplace(g.gid, g.v);
+
+    std::vector<double> approx(my_targets.size());
+    for (std::size_t i = 0; i < my_targets.size(); ++i)
+      approx[i] = by_gid.at(my_targets[i].gid);
+    if (!my_targets.empty()) {
+      EXPECT_LT(rel_l2_error(approx, exact), tol);
+    }
+  });
+}
+
+TEST(SeparateTargets, MeasurementPlaneSequential) {
+  expect_plane_accurate(1, 30, 6, 1e-4);
+}
+
+TEST(SeparateTargets, MeasurementPlaneParallel4) {
+  expect_plane_accurate(4, 20, 6, 1e-4);
+}
+
+TEST(SeparateTargets, MeasurementPlaneParallel3OwnerReduce) {
+  expect_plane_accurate(3, 25, 4, 5e-3);
+}
+
+TEST(SeparateTargets, OverlappingKindsMixture) {
+  // A mix of pure sources, pure targets, and both: potentials at
+  // target-capable points must match direct summation over
+  // source-capable points.
+  kernels::LaplaceKernel kernel;
+  FmmOptions opts;
+  opts.surface_n = 6;
+  opts.max_points_per_leaf = 25;
+  const Tables tables(kernel, opts);
+  comm::Runtime::run(2, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(Distribution::kUniform, 1200,
+                                       ctx.rank(), 2, 1, 71);
+    for (auto& pt : pts) {
+      switch (pt.gid % 3) {
+        case 0: pt.kind = octree::kSource; break;
+        case 1: pt.kind = octree::kTarget; break;
+        default: pt.kind = octree::kBoth; break;
+      }
+    }
+    const auto mine = pts;
+    ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    auto result = fmm.evaluate();
+
+    auto all = ctx.comm.allgatherv_concat(std::span<const PointRec>(mine));
+    std::vector<PointRec> my_targets;
+    for (const auto& pt : mine)
+      if (pt.is_target()) my_targets.push_back(pt);
+    const auto exact = direct_local(kernel, my_targets, all);
+
+    struct GP {
+      std::uint64_t gid;
+      double v;
+    };
+    std::vector<GP> out(result.gids.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = {result.gids[i], result.potentials[i]};
+    auto gathered = ctx.comm.allgatherv_concat(std::span<const GP>(out));
+    std::unordered_map<std::uint64_t, double> by_gid;
+    for (const auto& g : gathered) by_gid.emplace(g.gid, g.v);
+    for (const auto& g : gathered) EXPECT_EQ(g.gid % 3 == 0, false);
+
+    std::vector<double> approx(my_targets.size());
+    for (std::size_t i = 0; i < my_targets.size(); ++i)
+      approx[i] = by_gid.at(my_targets[i].gid);
+    EXPECT_LT(rel_l2_error(approx, exact), 1e-4);
+  });
+}
+
+TEST(SeparateTargets, GradientAtTargetsOnlyPoints) {
+  kernels::LaplaceKernel kernel;
+  auto gradk = kernel.gradient();
+  FmmOptions opts;
+  opts.surface_n = 6;
+  opts.max_points_per_leaf = 30;
+  const Tables tables(kernel, opts);
+  comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+    auto pts = make_mixed(1200, 12, 0, 1);
+    const auto mine = pts;
+    ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    auto result = fmm.evaluate(/*with_gradient=*/true);
+
+    std::vector<PointRec> my_targets;
+    for (const auto& pt : mine)
+      if (pt.is_target()) my_targets.push_back(pt);
+    const auto exact = direct_local(*gradk, my_targets, mine);
+
+    std::unordered_map<std::uint64_t, std::size_t> idx;
+    for (std::size_t i = 0; i < result.gids.size(); ++i)
+      idx[result.gids[i]] = i;
+    std::vector<double> approx(exact.size());
+    for (std::size_t i = 0; i < my_targets.size(); ++i) {
+      const std::size_t k = idx.at(my_targets[i].gid);
+      for (int c = 0; c < 3; ++c)
+        approx[3 * i + c] = result.gradients[3 * k + c];
+    }
+    EXPECT_LT(rel_l2_error(approx, exact), 1e-3);
+  });
+}
+
+TEST(SeparateTargets, GpuPathHandlesMixedKinds) {
+  kernels::LaplaceKernel kernel;
+  FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 30;
+  const Tables tables(kernel, opts);
+  comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+    auto pts = make_mixed(1200, 12, 0, 1);
+    octree::BuildParams bp;
+    bp.max_points_per_leaf = 30;
+    auto tree = octree::build_distributed_tree(ctx.comm, pts, bp);
+    octree::Let let = octree::build_let(ctx.comm, tree);
+    octree::build_interaction_lists(let);
+
+    Evaluator cpu(tables, let, ctx);
+    cpu.run();
+    gpu::StreamDevice dev;
+    gpu::GpuEvaluator gpu_eval(tables, let, ctx, dev, 32,
+                               /*offload_wx=*/true);
+    gpu_eval.run();
+
+    std::vector<double> pc, pg;
+    for (std::size_t i = 0; i < let.nodes.size(); ++i) {
+      const auto& nd = let.nodes[i];
+      if (!(nd.owned && nd.global_leaf)) continue;
+      for (std::uint32_t k = 0; k < nd.target_count; ++k) {
+        pc.push_back(cpu.potential()[nd.point_begin + k]);
+        pg.push_back(gpu_eval.potential()[nd.point_begin + k]);
+      }
+    }
+    ASSERT_FALSE(pc.empty());
+    EXPECT_LT(rel_l2_error(pg, pc), 3e-4);
+  });
+}
+
+}  // namespace
+}  // namespace pkifmm::core

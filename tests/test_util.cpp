@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/flops.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace pkifmm {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) { EXPECT_NO_THROW(PKIFMM_CHECK(1 + 1 == 2)); }
+
+TEST(Check, FailingCheckThrowsWithLocation) {
+  try {
+    PKIFMM_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RankStreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(5);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(r.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BoundedIntegerIsInRange) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.uniform_u64(37), 37u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+}
+
+TEST(PhaseTimer, AccumulatesNamedPhases) {
+  PhaseTimer pt;
+  pt.add("a", 1.5);
+  pt.add("a", 0.5);
+  pt.add("b", 3.0);
+  EXPECT_DOUBLE_EQ(pt.get("a"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.get("b"), 3.0);
+  EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+}
+
+TEST(PhaseTimer, ScopeAddsOnDestruction) {
+  PhaseTimer pt;
+  {
+    auto s = pt.scope("x");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(pt.get("x"), 0.0);
+}
+
+TEST(FlopCounter, TracksPerPhaseAndTotal) {
+  FlopCounter fc;
+  fc.add("uli", 100);
+  fc.add("vli", 50);
+  fc.add("uli", 10);
+  EXPECT_EQ(fc.get("uli"), 110u);
+  EXPECT_EQ(fc.get("vli"), 50u);
+  EXPECT_EQ(fc.total(), 160u);
+}
+
+TEST(Summary, ComputesMaxAvgMin) {
+  const double xs[] = {1.0, 2.0, 3.0, 6.0};
+  auto s = Summary::of(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.avg, 3.0);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 2.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  auto s = Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Stats, RelL2ErrorOfIdenticalVectorsIsZero) {
+  const double a[] = {1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rel_l2_error(a, a), 0.0);
+}
+
+TEST(Stats, RelL2ErrorScales) {
+  const double r[] = {3.0, 4.0};     // norm 5
+  const double a[] = {3.0, 4.5};     // diff norm 0.5
+  EXPECT_NEAR(rel_l2_error(a, r), 0.1, 1e-12);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Event", "Max"});
+  t.add_row({"Total", "1.37e+02"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Event"), std::string::npos);
+  EXPECT_NE(s.find("1.37e+02"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Format, SciMatchesPaperStyle) {
+  EXPECT_EQ(sci(137.0), "1.37e+02");
+  EXPECT_EQ(sci(0.00883, 2), "8.83e-03");
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(1048576), "1,048,576");
+  EXPECT_EQ(with_commas(7), "7");
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=100", "--verbose", "--rate=2.5"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 100);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pkifmm

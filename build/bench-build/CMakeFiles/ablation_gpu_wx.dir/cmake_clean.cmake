@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gpu_wx"
+  "../bench/ablation_gpu_wx.pdb"
+  "CMakeFiles/ablation_gpu_wx.dir/ablation_gpu_wx.cpp.o"
+  "CMakeFiles/ablation_gpu_wx.dir/ablation_gpu_wx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_wx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_treebuild"
+  "../bench/ablation_treebuild.pdb"
+  "CMakeFiles/ablation_treebuild.dir/ablation_treebuild.cpp.o"
+  "CMakeFiles/ablation_treebuild.dir/ablation_treebuild.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_treebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

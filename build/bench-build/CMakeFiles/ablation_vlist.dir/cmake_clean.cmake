@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_vlist"
+  "../bench/ablation_vlist.pdb"
+  "CMakeFiles/ablation_vlist.dir/ablation_vlist.cpp.o"
+  "CMakeFiles/ablation_vlist.dir/ablation_vlist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_strong"
+  "../bench/fig3_strong.pdb"
+  "CMakeFiles/fig3_strong.dir/fig3_strong.cpp.o"
+  "CMakeFiles/fig3_strong.dir/fig3_strong.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_weak"
+  "../bench/fig4_weak.pdb"
+  "CMakeFiles/fig4_weak.dir/fig4_weak.cpp.o"
+  "CMakeFiles/fig4_weak.dir/fig4_weak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

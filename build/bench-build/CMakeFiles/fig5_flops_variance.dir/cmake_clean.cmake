@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_flops_variance"
+  "../bench/fig5_flops_variance.pdb"
+  "CMakeFiles/fig5_flops_variance.dir/fig5_flops_variance.cpp.o"
+  "CMakeFiles/fig5_flops_variance.dir/fig5_flops_variance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_flops_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_gpu_weak"
+  "../bench/fig6_gpu_weak.pdb"
+  "CMakeFiles/fig6_gpu_weak.dir/fig6_gpu_weak.cpp.o"
+  "CMakeFiles/fig6_gpu_weak.dir/fig6_gpu_weak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gpu_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gpu_block_sweep"
+  "../bench/gpu_block_sweep.pdb"
+  "CMakeFiles/gpu_block_sweep.dir/gpu_block_sweep.cpp.o"
+  "CMakeFiles/gpu_block_sweep.dir/gpu_block_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_block_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

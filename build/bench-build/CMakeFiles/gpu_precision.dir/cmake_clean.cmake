@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gpu_precision"
+  "../bench/gpu_precision.pdb"
+  "CMakeFiles/gpu_precision.dir/gpu_precision.cpp.o"
+  "CMakeFiles/gpu_precision.dir/gpu_precision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gpu_translate"
+  "../bench/gpu_translate.pdb"
+  "CMakeFiles/gpu_translate.dir/gpu_translate.cpp.o"
+  "CMakeFiles/gpu_translate.dir/gpu_translate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

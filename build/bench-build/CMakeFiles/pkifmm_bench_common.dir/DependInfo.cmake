@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench-build/CMakeFiles/pkifmm_bench_common.dir/common.cpp.o" "gcc" "bench-build/CMakeFiles/pkifmm_bench_common.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pkifmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pkifmm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/pkifmm_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pkifmm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pkifmm_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/pkifmm_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/pkifmm_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/pkifmm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pkifmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repeat_eval"
+  "../bench/repeat_eval.pdb"
+  "CMakeFiles/repeat_eval.dir/repeat_eval.cpp.o"
+  "CMakeFiles/repeat_eval.dir/repeat_eval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeat_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

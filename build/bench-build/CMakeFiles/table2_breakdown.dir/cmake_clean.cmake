@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_breakdown"
+  "../bench/table2_breakdown.pdb"
+  "CMakeFiles/table2_breakdown.dir/table2_breakdown.cpp.o"
+  "CMakeFiles/table2_breakdown.dir/table2_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_gpu_q"
+  "../bench/table3_gpu_q.pdb"
+  "CMakeFiles/table3_gpu_q.dir/table3_gpu_q.cpp.o"
+  "CMakeFiles/table3_gpu_q.dir/table3_gpu_q.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gpu_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_gpu_q.
+# This may be replaced when dependencies are built.

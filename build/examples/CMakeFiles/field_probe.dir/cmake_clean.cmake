@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_probe.dir/field_probe.cpp.o"
+  "CMakeFiles/field_probe.dir/field_probe.cpp.o.d"
+  "field_probe"
+  "field_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

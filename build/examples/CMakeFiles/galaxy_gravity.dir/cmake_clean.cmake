@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_gravity.dir/galaxy_gravity.cpp.o"
+  "CMakeFiles/galaxy_gravity.dir/galaxy_gravity.cpp.o.d"
+  "galaxy_gravity"
+  "galaxy_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_cli.dir/pkifmm_cli.cpp.o"
+  "CMakeFiles/pkifmm_cli.dir/pkifmm_cli.cpp.o.d"
+  "pkifmm_cli"
+  "pkifmm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

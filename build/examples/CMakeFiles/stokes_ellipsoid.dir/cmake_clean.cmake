@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stokes_ellipsoid.dir/stokes_ellipsoid.cpp.o"
+  "CMakeFiles/stokes_ellipsoid.dir/stokes_ellipsoid.cpp.o.d"
+  "stokes_ellipsoid"
+  "stokes_ellipsoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stokes_ellipsoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stokes_ellipsoid.
+# This may be replaced when dependencies are built.

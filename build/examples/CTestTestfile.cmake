@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--n=4000" "--ranks=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stokes_ellipsoid "/root/repo/build/examples/stokes_ellipsoid" "--n=3000" "--ranks=2")
+set_tests_properties(example_stokes_ellipsoid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_galaxy_gravity "/root/repo/build/examples/galaxy_gravity" "--n=5000" "--ranks=2")
+set_tests_properties(example_galaxy_gravity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gpu_offload "/root/repo/build/examples/gpu_offload" "--n=6000" "--q=100")
+set_tests_properties(example_gpu_offload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_field_probe "/root/repo/build/examples/field_probe" "--n=4000" "--grid=12" "--ranks=2")
+set_tests_properties(example_field_probe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli "/root/repo/build/examples/pkifmm_cli" "--n=3000" "--ranks=2" "--accuracy=4" "--check=40")
+set_tests_properties(example_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_comm.dir/comm.cpp.o"
+  "CMakeFiles/pkifmm_comm.dir/comm.cpp.o.d"
+  "CMakeFiles/pkifmm_comm.dir/fabric.cpp.o"
+  "CMakeFiles/pkifmm_comm.dir/fabric.cpp.o.d"
+  "libpkifmm_comm.a"
+  "libpkifmm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

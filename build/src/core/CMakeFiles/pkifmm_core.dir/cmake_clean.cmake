@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_core.dir/direct.cpp.o"
+  "CMakeFiles/pkifmm_core.dir/direct.cpp.o.d"
+  "CMakeFiles/pkifmm_core.dir/evaluator.cpp.o"
+  "CMakeFiles/pkifmm_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/pkifmm_core.dir/fmm.cpp.o"
+  "CMakeFiles/pkifmm_core.dir/fmm.cpp.o.d"
+  "CMakeFiles/pkifmm_core.dir/reduce.cpp.o"
+  "CMakeFiles/pkifmm_core.dir/reduce.cpp.o.d"
+  "CMakeFiles/pkifmm_core.dir/surface.cpp.o"
+  "CMakeFiles/pkifmm_core.dir/surface.cpp.o.d"
+  "CMakeFiles/pkifmm_core.dir/tables.cpp.o"
+  "CMakeFiles/pkifmm_core.dir/tables.cpp.o.d"
+  "libpkifmm_core.a"
+  "libpkifmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_fft.dir/fft.cpp.o"
+  "CMakeFiles/pkifmm_fft.dir/fft.cpp.o.d"
+  "libpkifmm_fft.a"
+  "libpkifmm_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

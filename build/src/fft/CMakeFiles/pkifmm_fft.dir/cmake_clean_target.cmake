@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpkifmm_fft.a"
+)

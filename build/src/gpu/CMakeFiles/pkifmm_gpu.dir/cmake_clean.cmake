@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_gpu.dir/autotune.cpp.o"
+  "CMakeFiles/pkifmm_gpu.dir/autotune.cpp.o.d"
+  "CMakeFiles/pkifmm_gpu.dir/device.cpp.o"
+  "CMakeFiles/pkifmm_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/pkifmm_gpu.dir/evaluator.cpp.o"
+  "CMakeFiles/pkifmm_gpu.dir/evaluator.cpp.o.d"
+  "CMakeFiles/pkifmm_gpu.dir/kernels.cpp.o"
+  "CMakeFiles/pkifmm_gpu.dir/kernels.cpp.o.d"
+  "CMakeFiles/pkifmm_gpu.dir/soa.cpp.o"
+  "CMakeFiles/pkifmm_gpu.dir/soa.cpp.o.d"
+  "libpkifmm_gpu.a"
+  "libpkifmm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/pkifmm_kernels.dir/kernel.cpp.o.d"
+  "libpkifmm_kernels.a"
+  "libpkifmm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_la.dir/matrix.cpp.o"
+  "CMakeFiles/pkifmm_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/pkifmm_la.dir/svd.cpp.o"
+  "CMakeFiles/pkifmm_la.dir/svd.cpp.o.d"
+  "libpkifmm_la.a"
+  "libpkifmm_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

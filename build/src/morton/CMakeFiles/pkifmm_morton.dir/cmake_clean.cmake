@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_morton.dir/key.cpp.o"
+  "CMakeFiles/pkifmm_morton.dir/key.cpp.o.d"
+  "libpkifmm_morton.a"
+  "libpkifmm_morton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/octree/balance.cpp" "src/octree/CMakeFiles/pkifmm_octree.dir/balance.cpp.o" "gcc" "src/octree/CMakeFiles/pkifmm_octree.dir/balance.cpp.o.d"
+  "/root/repo/src/octree/build.cpp" "src/octree/CMakeFiles/pkifmm_octree.dir/build.cpp.o" "gcc" "src/octree/CMakeFiles/pkifmm_octree.dir/build.cpp.o.d"
+  "/root/repo/src/octree/let.cpp" "src/octree/CMakeFiles/pkifmm_octree.dir/let.cpp.o" "gcc" "src/octree/CMakeFiles/pkifmm_octree.dir/let.cpp.o.d"
+  "/root/repo/src/octree/partition.cpp" "src/octree/CMakeFiles/pkifmm_octree.dir/partition.cpp.o" "gcc" "src/octree/CMakeFiles/pkifmm_octree.dir/partition.cpp.o.d"
+  "/root/repo/src/octree/points.cpp" "src/octree/CMakeFiles/pkifmm_octree.dir/points.cpp.o" "gcc" "src/octree/CMakeFiles/pkifmm_octree.dir/points.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pkifmm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/pkifmm_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/pkifmm_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

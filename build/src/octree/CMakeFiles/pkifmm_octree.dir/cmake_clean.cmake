@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_octree.dir/balance.cpp.o"
+  "CMakeFiles/pkifmm_octree.dir/balance.cpp.o.d"
+  "CMakeFiles/pkifmm_octree.dir/build.cpp.o"
+  "CMakeFiles/pkifmm_octree.dir/build.cpp.o.d"
+  "CMakeFiles/pkifmm_octree.dir/let.cpp.o"
+  "CMakeFiles/pkifmm_octree.dir/let.cpp.o.d"
+  "CMakeFiles/pkifmm_octree.dir/partition.cpp.o"
+  "CMakeFiles/pkifmm_octree.dir/partition.cpp.o.d"
+  "CMakeFiles/pkifmm_octree.dir/points.cpp.o"
+  "CMakeFiles/pkifmm_octree.dir/points.cpp.o.d"
+  "libpkifmm_octree.a"
+  "libpkifmm_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

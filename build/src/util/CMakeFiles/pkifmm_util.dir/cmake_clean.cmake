@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkifmm_util.dir/cli.cpp.o"
+  "CMakeFiles/pkifmm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pkifmm_util.dir/table.cpp.o"
+  "CMakeFiles/pkifmm_util.dir/table.cpp.o.d"
+  "CMakeFiles/pkifmm_util.dir/timer.cpp.o"
+  "CMakeFiles/pkifmm_util.dir/timer.cpp.o.d"
+  "libpkifmm_util.a"
+  "libpkifmm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkifmm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

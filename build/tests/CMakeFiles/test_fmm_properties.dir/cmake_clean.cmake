@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm_properties.dir/test_fmm_properties.cpp.o"
+  "CMakeFiles/test_fmm_properties.dir/test_fmm_properties.cpp.o.d"
+  "test_fmm_properties"
+  "test_fmm_properties.pdb"
+  "test_fmm_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

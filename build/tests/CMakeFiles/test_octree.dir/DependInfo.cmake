@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_octree.cpp" "tests/CMakeFiles/test_octree.dir/test_octree.cpp.o" "gcc" "tests/CMakeFiles/test_octree.dir/test_octree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/octree/CMakeFiles/pkifmm_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/pkifmm_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/pkifmm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pkifmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_separate_targets.dir/test_separate_targets.cpp.o"
+  "CMakeFiles/test_separate_targets.dir/test_separate_targets.cpp.o.d"
+  "test_separate_targets"
+  "test_separate_targets.pdb"
+  "test_separate_targets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_separate_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

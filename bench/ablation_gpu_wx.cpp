@@ -68,6 +68,7 @@ Outcome run_once(bool offload_wx, octree::Distribution dist, std::uint64_t n,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "ablation_gpu_wx");
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 20000));
   const int q = static_cast<int>(cli.get_int("q", 60));
 

@@ -68,6 +68,7 @@ Summary run_strategy(Strategy strat, int p, std::uint64_t per_rank, int q) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "ablation_loadbalance");
   const int p = static_cast<int>(cli.get_int("p", 16));
   const auto per_rank = static_cast<std::uint64_t>(cli.get_int("per-rank", 1200));
   const int q = static_cast<int>(cli.get_int("q", 30));

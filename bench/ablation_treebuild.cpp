@@ -20,6 +20,7 @@ using namespace pkifmm::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "ablation_treebuild");
   const int pmax = static_cast<int>(cli.get_int("pmax", 32));
   const auto per_rank = static_cast<std::uint64_t>(cli.get_int("per-rank", 800));
 

@@ -15,6 +15,7 @@ using namespace pkifmm::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "ablation_vlist");
   const auto n_points = static_cast<std::uint64_t>(cli.get_int("n", 20000));
 
   print_header("Ablation A", "V-list translation: FFT-diagonal vs dense");

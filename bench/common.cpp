@@ -1,10 +1,171 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <set>
 
 namespace pkifmm::bench {
+
+namespace {
+
+/// Process-wide metrics log behind --metrics-out/--trace-out. Written
+/// at exit so sweeps with many run_fmm calls land in one file.
+struct MetricsLog {
+  std::string bench;
+  std::string metrics_path;
+  std::string trace_path;
+  obs::Json runs = obs::Json::array();
+  obs::Json trace_events = obs::Json::array();
+  int run_index = 0;
+  std::mutex mu;
+
+  bool enabled() const {
+    return !metrics_path.empty() || !trace_path.empty();
+  }
+};
+
+MetricsLog& metrics_log() {
+  static MetricsLog log;
+  return log;
+}
+
+void flush_metrics() try {
+  MetricsLog& log = metrics_log();
+  if (!log.metrics_path.empty()) {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", "pkifmm.bench-metrics.v1");
+    doc.set("bench", log.bench);
+    doc.set("nruns", std::int64_t{log.run_index});
+    doc.set("runs", std::move(log.runs));
+    obs::write_json_file(log.metrics_path, doc);
+    std::printf("[metrics] wrote %s (%d runs)\n", log.metrics_path.c_str(),
+                log.run_index);
+  }
+  if (!log.trace_path.empty()) {
+    obs::Json doc = obs::Json::object();
+    doc.set("traceEvents", std::move(log.trace_events));
+    doc.set("displayTimeUnit", "ms");
+    obs::write_json_file(log.trace_path, doc);
+    std::printf("[metrics] wrote %s\n", log.trace_path.c_str());
+  }
+} catch (const std::exception& e) {
+  // Runs at exit: an escaping exception would call std::terminate, so
+  // report the I/O failure without taking down the bench's results.
+  std::fprintf(stderr, "[metrics] write failed: %s\n", e.what());
+}
+
+const char* dist_name(octree::Distribution d) {
+  switch (d) {
+    case octree::Distribution::kUniform: return "uniform";
+    case octree::Distribution::kEllipsoid: return "ellipsoid";
+    case octree::Distribution::kCluster: return "cluster";
+  }
+  return "unknown";
+}
+
+/// Max/avg/per-rank triple for one per-rank series.
+obs::Json series_json(const std::vector<double>& per_rank) {
+  const Summary s = Summary::of(per_rank);
+  obs::Json out = obs::Json::object();
+  out.set("max", s.max);
+  out.set("avg", s.avg);
+  obs::Json ranks = obs::Json::array();
+  for (double v : per_rank) ranks.push_back(obs::Json(v));
+  out.set("per_rank", std::move(ranks));
+  return out;
+}
+
+}  // namespace
+
+void metrics_init(const Cli& cli, const std::string& bench_name) {
+  MetricsLog& log = metrics_log();
+  log.bench = bench_name;
+  log.metrics_path = cli.get("metrics-out", "");
+  log.trace_path = cli.get("trace-out", "");
+  if (log.enabled()) std::atexit(flush_metrics);
+}
+
+void record_run(const std::string& kind, const ExperimentConfig& cfg,
+                const std::string& kernel,
+                const std::vector<comm::RankReport>& reports,
+                const comm::CostModel& model) {
+  MetricsLog& log = metrics_log();
+  if (!log.enabled()) return;
+  std::lock_guard<std::mutex> lock(log.mu);
+
+  obs::Json run = obs::Json::object();
+  run.set("kind", kind);
+  obs::Json config = obs::Json::object();
+  config.set("p", std::int64_t{cfg.p});
+  config.set("dist", dist_name(cfg.dist));
+  config.set("n_points", static_cast<std::int64_t>(cfg.n_points));
+  config.set("seed", static_cast<std::int64_t>(cfg.seed));
+  config.set("kernel", kernel);
+  config.set("surface_n", std::int64_t{cfg.opts.surface_n});
+  config.set("max_points_per_leaf",
+             std::int64_t{cfg.opts.max_points_per_leaf});
+  run.set("config", std::move(config));
+
+  // Per-phase summary matching the stdout tables: time = measured
+  // thread-CPU + alpha-beta modeled comm (DESIGN.md §2), flops from the
+  // analytic counters, msgs/bytes from the send ledger. Phase keys are
+  // exact phase names; prefix aggregates ("eval.") are sums of these.
+  std::set<std::string> names;
+  for (const auto& rep : reports) {
+    for (const auto& [name, v] : rep.cpu_phases) names.insert(name);
+    for (const auto& [name, v] : rep.flop_phases) names.insert(name);
+    for (const auto& [name, v] : rep.cost.phases()) names.insert(name);
+  }
+  obs::Json phases = obs::Json::object();
+  for (const std::string& name : names) {
+    std::vector<double> time, cpu, comm_time, flops;
+    std::uint64_t msgs = 0, bytes = 0;
+    for (const auto& rep : reports) {
+      const auto cit = rep.cpu_phases.find(name);
+      const double c = cit == rep.cpu_phases.end() ? 0.0 : cit->second;
+      const auto cnt = rep.cost.get(name);
+      time.push_back(c + model.comm_time(cnt));
+      cpu.push_back(c);
+      comm_time.push_back(model.comm_time(cnt));
+      const auto fit = rep.flop_phases.find(name);
+      flops.push_back(fit == rep.flop_phases.end()
+                          ? 0.0
+                          : static_cast<double>(fit->second));
+      msgs += cnt.msgs_sent;
+      bytes += cnt.bytes_sent;
+    }
+    obs::Json ph = obs::Json::object();
+    ph.set("time", series_json(time));
+    ph.set("cpu", series_json(cpu));
+    ph.set("comm_time", series_json(comm_time));
+    ph.set("flops", series_json(flops));
+    ph.set("msgs", static_cast<std::int64_t>(msgs));
+    ph.set("bytes", static_cast<std::int64_t>(bytes));
+    phases.set(name, std::move(ph));
+  }
+  run.set("phases", std::move(phases));
+
+  // Full per-rank snapshot (counters, histograms, span trace) in the
+  // flat pkifmm.metrics.v1 schema.
+  std::vector<obs::RankMetrics> ranks;
+  ranks.reserve(reports.size());
+  for (const auto& rep : reports) ranks.push_back(rep.obs);
+  run.set("metrics", obs::metrics_to_json(ranks));
+  log.runs.push_back(std::move(run));
+
+  // Chrome trace: one pid per recorded run so sweeps stay separable.
+  if (!log.trace_path.empty()) {
+    obs::Json trace = obs::chrome_trace_json(ranks);
+    for (const obs::Json& ev : trace.at("traceEvents").items()) {
+      obs::Json copy = ev;
+      copy.set("pid", std::int64_t{log.run_index});
+      log.trace_events.push_back(std::move(copy));
+    }
+  }
+  ++log.run_index;
+}
 
 namespace {
 
@@ -148,6 +309,7 @@ GpuRun run_gpu_fmm(const ExperimentConfig& cfg, int block) {
     run.dev_kernels[ctx.rank()] = dev.kernels();
     run.dev_transfer_seconds[ctx.rank()] = dev.transfer_seconds();
   });
+  record_run("gpu_fmm", cfg, "laplace", run.reports, run.model);
   return run;
 }
 
@@ -190,6 +352,7 @@ Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel) {
     fmm.setup(std::move(pts));
     (void)fmm.evaluate();
   });
+  record_run("fmm", cfg, kernel, exp.reports, exp.model);
   return exp;
 }
 

@@ -20,6 +20,7 @@
 #include "core/direct.hpp"
 #include "core/fmm.hpp"
 #include "gpu/evaluator.hpp"
+#include "obs/export.hpp"
 #include "octree/points.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -75,6 +76,22 @@ struct Experiment {
 /// per-rank reports. The same kernel/options Tables are cached across
 /// calls so repeated sweep points do not redo the SVD precomputation.
 Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel);
+
+/// Enables `--metrics-out=<path>` (flat "pkifmm.bench-metrics.v1"
+/// JSON) and `--trace-out=<path>` (Chrome trace_event JSON) for this
+/// bench. Call once right after constructing the Cli; every subsequent
+/// run_fmm/run_gpu_fmm is recorded and the files are written when the
+/// bench exits. The per-phase summaries in the metrics file are
+/// computed from the same RankReports and CostModel as the stdout
+/// tables, so the numbers agree to within formatting.
+void metrics_init(const Cli& cli, const std::string& bench_name);
+
+/// Internal: appends one run's reports to the metrics log (no-op when
+/// metrics_init was not called or no output was requested).
+void record_run(const std::string& kind, const ExperimentConfig& cfg,
+                const std::string& kernel,
+                const std::vector<comm::RankReport>& reports,
+                const comm::CostModel& model);
 
 /// Cached Tables lookup (geometry fields only drive the cache; other
 /// options are rebound per call via Tables::with_options).

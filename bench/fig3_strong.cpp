@@ -74,6 +74,7 @@ void run_series(octree::Distribution dist, const char* label,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "fig3_strong");
   const int pmax = static_cast<int>(cli.get_int("pmax", 16));
   const auto n_uniform =
       static_cast<std::uint64_t>(cli.get_int("n-uniform", 16000));

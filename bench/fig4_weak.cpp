@@ -53,6 +53,7 @@ void run_series(octree::Distribution dist, const char* label,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "fig4_weak");
   const int pmax = static_cast<int>(cli.get_int("pmax", 16));
   const auto uni = static_cast<std::uint64_t>(cli.get_int("uniform-per-rank", 1500));
   const auto non =

@@ -44,6 +44,7 @@ Summary run_series(octree::Distribution dist, const char* label, int p,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "fig5_flops_variance");
   const int p = static_cast<int>(cli.get_int("p", 16));
   const auto per_rank = static_cast<std::uint64_t>(cli.get_int("per-rank", 1500));
 

@@ -19,6 +19,7 @@ using namespace pkifmm::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "fig6_gpu_weak");
   const int pmax = static_cast<int>(cli.get_int("pmax", 8));
   const auto per_rank = static_cast<std::uint64_t>(cli.get_int("per-rank", 3000));
   const int q_gpu = static_cast<int>(cli.get_int("q-gpu", 1050));

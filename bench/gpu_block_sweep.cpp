@@ -16,6 +16,7 @@ using namespace pkifmm::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "gpu_block_sweep");
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 20000));
   const int q = static_cast<int>(cli.get_int("q", 100));
 

@@ -63,6 +63,7 @@ std::pair<double, double> errors_for(int surface_n, std::uint64_t n) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "gpu_precision");
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 4000));
 
   print_header("GPU precision", "double (CPU) vs single (GPU) accuracy floor");

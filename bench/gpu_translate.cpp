@@ -17,6 +17,7 @@ using namespace pkifmm::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "gpu_translate");
 
   print_header("GPU translate", "LET -> streaming SoA translation cost");
   Table table({"N", "translate (s)", "eval cpu (s)", "fraction",

@@ -18,6 +18,7 @@ using namespace pkifmm::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "table2_breakdown");
   const int p = static_cast<int>(cli.get_int("p", 16));
   const auto per_rank = static_cast<std::uint64_t>(cli.get_int("per-rank", 1500));
 

@@ -20,6 +20,7 @@ using namespace pkifmm::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  metrics_init(cli, "table3_gpu_q");
   // The paper's q values are exactly 1M/8^5, 1M/8^4, 1M/8^3 — each q
   // puts the uniform tree one level shallower. We scale N to 15360 and
   // keep the same level semantics: q = N/8^3, N/8^2, N/8^1.

@@ -13,6 +13,7 @@ void Comm::barrier() {
     for (int k = 1; k < size_; k <<= 1) ++r;
     return r;
   }();
+  auto cs = cost_.collective("barrier", static_cast<std::uint64_t>(rounds));
   const int base = next_collective_tags(rounds);
   // Dissemination barrier: in round i, signal rank (r + 2^i) mod p and
   // wait for rank (r - 2^i) mod p.
@@ -28,6 +29,7 @@ std::vector<RankReport> Runtime::run(
     int nranks, const std::function<void(RankCtx&)>& fn) {
   PKIFMM_CHECK(nranks >= 1);
   Fabric fabric(nranks);
+  obs::Registry registry;  // per-run, per-rank scoped recorders
   std::vector<RankReport> reports(nranks);
 
   std::mutex err_mu;
@@ -37,8 +39,12 @@ std::vector<RankReport> Runtime::run(
     CostTracker cost;
     PhaseTimer timer;
     FlopCounter flops;
+    obs::Recorder& rec = registry.recorder(rank);
+    cost.bind(&rec);
+    timer.bind(&rec);
+    flops.bind(&rec);
     Comm comm(fabric, rank, nranks, cost);
-    RankCtx ctx{comm, timer, flops};
+    RankCtx ctx{comm, timer, flops, rec};
     try {
       fn(ctx);
     } catch (...) {
@@ -48,12 +54,42 @@ std::vector<RankReport> Runtime::run(
       }
       fabric.poison();
     }
+    // Publish the flat maps as canonical obs counters (naming scheme
+    // documented in obs/export.hpp) so one snapshot carries everything.
+    for (const auto& [name, v] : timer.phases())
+      rec.counter_add("time." + name + ".wall", v);
+    for (const auto& [name, v] : timer.cpu_phases())
+      rec.counter_add("time." + name + ".cpu", v);
+    for (const auto& [name, v] : flops.phases())
+      rec.counter_add("flops." + name, static_cast<double>(v));
+    for (const auto& [name, c] : cost.phases()) {
+      rec.counter_add("comm." + name + ".msgs_sent",
+                      static_cast<double>(c.msgs_sent));
+      rec.counter_add("comm." + name + ".bytes_sent",
+                      static_cast<double>(c.bytes_sent));
+      rec.counter_add("comm." + name + ".msgs_recv",
+                      static_cast<double>(c.msgs_recv));
+      rec.counter_add("comm." + name + ".bytes_recv",
+                      static_cast<double>(c.bytes_recv));
+    }
+    for (const auto& [name, s] : cost.collectives()) {
+      rec.counter_add("coll." + name + ".calls",
+                      static_cast<double>(s.calls));
+      rec.counter_add("coll." + name + ".rounds",
+                      static_cast<double>(s.rounds));
+      rec.counter_add("coll." + name + ".msgs", static_cast<double>(s.msgs));
+      rec.counter_add("coll." + name + ".bytes",
+                      static_cast<double>(s.bytes));
+    }
+
     RankReport& rep = reports[rank];
+    cost.bind(nullptr);  // the recorder dies with this run
     rep.cost = std::move(cost);
     rep.time_phases = timer.phases();
     rep.cpu_phases = timer.cpu_phases();
     rep.flop_phases = flops.phases();
     rep.total_flops = flops.total();
+    rep.obs = rec.snapshot();
   };
 
   if (nranks == 1) {

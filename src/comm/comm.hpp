@@ -26,6 +26,7 @@
 #include "comm/bytes.hpp"
 #include "comm/cost.hpp"
 #include "comm/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
 
@@ -84,6 +85,8 @@ class Comm {
     std::vector<std::vector<T>> out(size_);
     out[rank_].assign(mine.begin(), mine.end());
     if (size_ == 1) return out;
+    auto cs = cost_.collective("allgatherv",
+                               static_cast<std::uint64_t>(size_ - 1));
     const int base = next_collective_tags(size_);
     const int right = (rank_ + 1) % size_;
     const int left = (rank_ - 1 + size_) % size_;
@@ -119,6 +122,7 @@ class Comm {
     std::vector<std::vector<T>> incoming(size_);
     incoming[rank_] = std::move(outgoing[rank_]);
     if (size_ == 1) return incoming;
+    auto cs = cost_.collective("alltoallv", 1);
     const int tag = next_collective_tags(1);
     for (int k = 0; k < size_; ++k) {
       if (k == rank_) continue;
@@ -199,23 +203,29 @@ class Comm {
 };
 
 /// Everything a rank's SPMD function can use: the communicator plus
-/// rank-local time/flop accounting.
+/// rank-local time/flop accounting and the obs recorder the timer,
+/// flop counter and cost tracker all report into.
 struct RankCtx {
   Comm& comm;
   PhaseTimer& timer;
   FlopCounter& flops;
+  obs::Recorder& rec;
 
   int rank() const { return comm.rank(); }
   int size() const { return comm.size(); }
 };
 
-/// Per-rank measurement snapshot returned by Runtime::run.
+/// Per-rank measurement snapshot returned by Runtime::run. The legacy
+/// flat maps remain for existing aggregation code; `obs` carries the
+/// same data (and the span trace) in canonical counter form — see
+/// obs/export.hpp for the naming scheme.
 struct RankReport {
   CostTracker cost;
   std::map<std::string, double> time_phases;      ///< wall seconds
   std::map<std::string, double> cpu_phases;       ///< thread-CPU seconds
   std::map<std::string, std::uint64_t> flop_phases;
   std::uint64_t total_flops = 0;
+  obs::RankMetrics obs;                           ///< spans + counters
 };
 
 /// Launches p simulated ranks (threads) running fn and returns their

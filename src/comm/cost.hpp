@@ -14,20 +14,46 @@
 #include <map>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace pkifmm::comm {
 
 /// Per-phase message/byte counters for one rank. Sends are charged to
 /// the sender; receives are tracked separately (useful to audit volume
 /// symmetry) but not double-charged by the default model.
+///
+/// With a bound obs::Recorder every send also feeds the span tracer
+/// (so spans carry msgs/bytes deltas) and a per-phase message-size
+/// histogram ("comm.msg_bytes.<phase>"). Collectives report their
+/// calls/rounds/msgs/bytes through collective() scopes, which is the
+/// accounting behind the paper's hypercube reduce-scatter claim
+/// (Algorithm 3's O(log p) rounds vs the owner scheme's O(p) messages).
 class CostTracker {
  public:
-  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  void set_phase(std::string phase) {
+    phase_ = std::move(phase);
+    msg_hist_ = rec_ != nullptr
+                    ? rec_->histogram("comm.msg_bytes." + phase_)
+                    : nullptr;
+  }
   const std::string& phase() const { return phase_; }
+
+  /// Binds the per-rank recorder for span/histogram reporting.
+  void bind(obs::Recorder* rec) {
+    rec_ = rec;
+    msg_hist_ = rec_ != nullptr
+                    ? rec_->histogram("comm.msg_bytes." + phase_)
+                    : nullptr;
+  }
 
   void on_send(std::size_t bytes) {
     auto& c = phases_[phase_];
     ++c.msgs_sent;
     c.bytes_sent += bytes;
+    ++total_msgs_sent_;
+    total_bytes_sent_ += bytes;
+    if (rec_ != nullptr) rec_->add_sent(1, bytes);
+    if (msg_hist_ != nullptr) msg_hist_->observe(static_cast<double>(bytes));
   }
   void on_recv(std::size_t bytes) {
     auto& c = phases_[phase_];
@@ -41,6 +67,49 @@ class CostTracker {
     std::uint64_t msgs_recv = 0;
     std::uint64_t bytes_recv = 0;
   };
+
+  /// Per-collective accounting: number of invocations, point-to-point
+  /// rounds, and the messages/bytes sent while the collective ran.
+  struct CollStats {
+    std::uint64_t calls = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// RAII scope a collective opens around its message exchange; on
+  /// close, the sends that happened inside are charged to `name`.
+  /// Nested scopes (e.g. an owner-reduce built on alltoallv) attribute
+  /// the same sends to every open collective, by design.
+  class CollectiveScope {
+   public:
+    CollectiveScope(CostTracker& t, std::string name, std::uint64_t rounds)
+        : t_(t), name_(std::move(name)), rounds_(rounds),
+          msgs0_(t.total_msgs_sent_), bytes0_(t.total_bytes_sent_) {}
+    ~CollectiveScope() {
+      CollStats& s = t_.collectives_[name_];
+      ++s.calls;
+      s.rounds += rounds_;
+      s.msgs += t_.total_msgs_sent_ - msgs0_;
+      s.bytes += t_.total_bytes_sent_ - bytes0_;
+    }
+    CollectiveScope(const CollectiveScope&) = delete;
+    CollectiveScope& operator=(const CollectiveScope&) = delete;
+
+   private:
+    CostTracker& t_;
+    std::string name_;
+    std::uint64_t rounds_;
+    std::uint64_t msgs0_, bytes0_;
+  };
+
+  CollectiveScope collective(std::string name, std::uint64_t rounds) {
+    return CollectiveScope(*this, std::move(name), rounds);
+  }
+
+  const std::map<std::string, CollStats>& collectives() const {
+    return collectives_;
+  }
 
   Counters get(const std::string& phase) const {
     auto it = phases_.find(phase);
@@ -60,11 +129,21 @@ class CostTracker {
 
   const std::map<std::string, Counters>& phases() const { return phases_; }
 
-  void clear() { phases_.clear(); }
+  void clear() {
+    phases_.clear();
+    collectives_.clear();
+    total_msgs_sent_ = 0;
+    total_bytes_sent_ = 0;
+  }
 
  private:
   std::string phase_ = "default";
   std::map<std::string, Counters> phases_;
+  std::map<std::string, CollStats> collectives_;
+  std::uint64_t total_msgs_sent_ = 0;
+  std::uint64_t total_bytes_sent_ = 0;
+  obs::Recorder* rec_ = nullptr;
+  obs::Histogram* msg_hist_ = nullptr;
 };
 
 /// Alpha-beta interconnect model plus a sustained per-core compute rate.

@@ -12,6 +12,10 @@ void ParallelFmm::setup(std::vector<octree::PointRec> points) {
   bp.max_points_per_leaf = opts.max_points_per_leaf;
   bp.max_level = opts.max_level;
 
+  // Root span only: the flat phase map keeps leaf phases disjoint so
+  // prefix sums ("setup.") never double-count.
+  auto root = ctx_.rec.span("setup");
+
   ctx_.comm.cost().set_phase("setup.tree");
   octree::OwnedTree tree;
   {
@@ -66,6 +70,7 @@ void ParallelFmm::set_densities(const std::vector<std::uint64_t>& gids,
 
 ParallelFmm::Result ParallelFmm::evaluate(bool with_gradient) {
   PKIFMM_CHECK_MSG(let_ != nullptr, "setup() must run before evaluate()");
+  auto root = ctx_.rec.span("eval");
   ctx_.comm.cost().set_phase("eval.comm");
   if (densities_dirty_) {
     auto t = ctx_.timer.scope("eval.comm");

@@ -91,6 +91,9 @@ void reduce_hypercube(comm::Comm& c, const octree::Let& let, int eq_len,
   int d = 0;
   while ((1 << d) < p) ++d;
 
+  // Algorithm 3 exchanges exactly one message per hypercube dimension.
+  auto cs = c.cost().collective("reduce_scatter",
+                                static_cast<std::uint64_t>(d));
   const int tag = 777;
   for (int i = d - 1; i >= 0; --i) {
     const int s = r ^ (1 << i);
@@ -128,6 +131,8 @@ void reduce_hypercube(comm::Comm& c, const octree::Let& let, int eq_len,
 void reduce_owner(comm::Comm& c, const octree::Let& let, int eq_len,
                   std::span<double> u, Pool pool) {
   const int p = c.size();
+  // Two alltoallv exchanges: contributors -> owner, owner -> users.
+  auto cs = c.cost().collective("owner_reduce", 2);
 
   // Owner of an octant: the first rank whose region it overlaps.
   auto owner_of = [&](const Key& beta) {

@@ -30,6 +30,7 @@ GpuEvaluator::GpuEvaluator(const core::Tables& tables,
 }
 
 void GpuEvaluator::run() {
+  auto root = ctx_.rec.span("eval");
   {
     auto t = ctx_.timer.scope("eval.s2u");
     s2u_gpu();

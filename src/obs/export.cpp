@@ -1,0 +1,217 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+
+namespace pkifmm::obs {
+
+namespace {
+
+Json hist_to_json(const Histogram& h) {
+  Json out = Json::object();
+  out.set("count", static_cast<std::int64_t>(h.count()));
+  out.set("sum", h.sum());
+  out.set("min", h.min());
+  out.set("max", h.max());
+  Json buckets = Json::array();
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.buckets()[b] == 0) continue;
+    Json pair = Json::array();
+    pair.push_back(Json(static_cast<std::int64_t>(b)));
+    pair.push_back(Json(static_cast<std::int64_t>(h.buckets()[b])));
+    buckets.push_back(std::move(pair));
+  }
+  out.set("buckets", std::move(buckets));
+  return out;
+}
+
+Json map_to_json(const std::map<std::string, double>& m) {
+  Json out = Json::object();
+  for (const auto& [name, v] : m) out.set(name, v);
+  return out;
+}
+
+Json span_to_json(const SpanEvent& e) {
+  Json out = Json::object();
+  out.set("name", e.name);
+  out.set("start", e.start);
+  out.set("wall", e.wall);
+  out.set("cpu", e.cpu);
+  out.set("flops", static_cast<std::int64_t>(e.flops));
+  out.set("msgs", static_cast<std::int64_t>(e.msgs));
+  out.set("bytes", static_cast<std::int64_t>(e.bytes));
+  out.set("parent", static_cast<std::int64_t>(e.parent));
+  out.set("depth", static_cast<std::int64_t>(e.depth));
+  return out;
+}
+
+}  // namespace
+
+Json metrics_to_json(const std::vector<RankMetrics>& ranks) {
+  Json doc = Json::object();
+  doc.set("schema", kMetricsSchema);
+  doc.set("nranks", static_cast<std::int64_t>(ranks.size()));
+
+  Json jranks = Json::array();
+  std::map<std::string, double> counter_totals;
+  for (const RankMetrics& rm : ranks) {
+    Json jr = Json::object();
+    jr.set("rank", static_cast<std::int64_t>(rm.rank));
+    jr.set("counters", map_to_json(rm.counters));
+    jr.set("gauges", map_to_json(rm.gauges));
+    Json hists = Json::object();
+    for (const auto& [name, h] : rm.histograms) hists.set(name, hist_to_json(h));
+    jr.set("histograms", std::move(hists));
+    Json spans = Json::array();
+    for (const SpanEvent& e : rm.spans) spans.push_back(span_to_json(e));
+    jr.set("spans", std::move(spans));
+    jranks.push_back(std::move(jr));
+    for (const auto& [name, v] : rm.counters) counter_totals[name] += v;
+  }
+  doc.set("ranks", std::move(jranks));
+
+  Json totals = Json::object();
+  totals.set("counters", map_to_json(counter_totals));
+  doc.set("totals", std::move(totals));
+  return doc;
+}
+
+namespace {
+
+std::map<std::string, double> json_to_map(const Json& obj) {
+  std::map<std::string, double> out;
+  for (const std::string& key : obj.keys()) out[key] = obj.at(key).as_double();
+  return out;
+}
+
+Histogram json_to_hist(const Json& obj) {
+  std::uint64_t buckets[Histogram::kBuckets] = {};
+  for (const Json& pair : obj.at("buckets").items()) {
+    const auto b = pair.at(std::size_t{0}).as_int();
+    PKIFMM_CHECK(b >= 0 && b < Histogram::kBuckets);
+    buckets[b] = static_cast<std::uint64_t>(pair.at(std::size_t{1}).as_int());
+  }
+  return Histogram::from_parts(
+      static_cast<std::uint64_t>(obj.at("count").as_int()),
+      obj.at("sum").as_double(), obj.at("min").as_double(),
+      obj.at("max").as_double(), buckets);
+}
+
+SpanEvent json_to_span(const Json& obj) {
+  SpanEvent e;
+  e.name = obj.at("name").as_string();
+  e.start = obj.at("start").as_double();
+  e.wall = obj.at("wall").as_double();
+  e.cpu = obj.at("cpu").as_double();
+  e.flops = static_cast<std::uint64_t>(obj.at("flops").as_int());
+  e.msgs = static_cast<std::uint64_t>(obj.at("msgs").as_int());
+  e.bytes = static_cast<std::uint64_t>(obj.at("bytes").as_int());
+  e.parent = static_cast<std::int32_t>(obj.at("parent").as_int());
+  e.depth = static_cast<std::int32_t>(obj.at("depth").as_int());
+  return e;
+}
+
+}  // namespace
+
+std::vector<RankMetrics> metrics_from_json(const Json& doc) {
+  validate_metrics_json(doc);
+  std::vector<RankMetrics> out;
+  for (const Json& jr : doc.at("ranks").items()) {
+    RankMetrics rm;
+    rm.rank = static_cast<int>(jr.at("rank").as_int());
+    rm.counters = json_to_map(jr.at("counters"));
+    rm.gauges = json_to_map(jr.at("gauges"));
+    const Json& hists = jr.at("histograms");
+    for (const std::string& name : hists.keys())
+      rm.histograms[name] = json_to_hist(hists.at(name));
+    for (const Json& js : jr.at("spans").items())
+      rm.spans.push_back(json_to_span(js));
+    out.push_back(std::move(rm));
+  }
+  return out;
+}
+
+void validate_metrics_json(const Json& doc) {
+  PKIFMM_CHECK_MSG(doc.type() == Json::Type::kObject,
+                   "metrics document must be a JSON object");
+  PKIFMM_CHECK_MSG(doc.contains("schema") &&
+                       doc.at("schema").as_string() == kMetricsSchema,
+                   "unknown metrics schema");
+  PKIFMM_CHECK(doc.contains("nranks"));
+  PKIFMM_CHECK(doc.contains("ranks"));
+  PKIFMM_CHECK(doc.contains("totals"));
+  const Json& ranks = doc.at("ranks");
+  PKIFMM_CHECK_MSG(ranks.type() == Json::Type::kArray &&
+                       static_cast<std::int64_t>(ranks.size()) ==
+                           doc.at("nranks").as_int(),
+                   "nranks does not match ranks[] length");
+  for (const Json& jr : ranks.items()) {
+    for (const char* field :
+         {"rank", "counters", "gauges", "histograms", "spans"})
+      PKIFMM_CHECK_MSG(jr.contains(field),
+                       "rank entry missing '" << field << "'");
+    std::int64_t nspans = static_cast<std::int64_t>(jr.at("spans").size());
+    for (const Json& js : jr.at("spans").items()) {
+      for (const char* field : {"name", "start", "wall", "cpu", "flops",
+                                "msgs", "bytes", "parent", "depth"})
+        PKIFMM_CHECK_MSG(js.contains(field),
+                         "span entry missing '" << field << "'");
+      const std::int64_t parent = js.at("parent").as_int();
+      PKIFMM_CHECK_MSG(parent >= -1 && parent < nspans,
+                       "span parent index out of range");
+      PKIFMM_CHECK_MSG(js.at("wall").as_double() >= 0.0 &&
+                           js.at("cpu").as_double() >= 0.0,
+                       "span durations must be nonnegative");
+    }
+  }
+}
+
+Json chrome_trace_json(const std::vector<RankMetrics>& ranks) {
+  Json events = Json::array();
+  for (const RankMetrics& rm : ranks) {
+    // Thread name metadata so trace viewers label rows "rank N".
+    Json meta = Json::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", std::int64_t{0});
+    meta.set("tid", static_cast<std::int64_t>(rm.rank));
+    Json margs = Json::object();
+    margs.set("name", "rank " + std::to_string(rm.rank));
+    meta.set("args", std::move(margs));
+    events.push_back(std::move(meta));
+
+    for (const SpanEvent& e : rm.spans) {
+      Json ev = Json::object();
+      ev.set("name", e.name);
+      ev.set("ph", "X");
+      ev.set("pid", std::int64_t{0});
+      ev.set("tid", static_cast<std::int64_t>(rm.rank));
+      ev.set("ts", e.start * 1e6);        // microseconds
+      ev.set("dur", e.wall * 1e6);
+      Json args = Json::object();
+      args.set("cpu_s", e.cpu);
+      args.set("flops", static_cast<std::int64_t>(e.flops));
+      args.set("msgs", static_cast<std::int64_t>(e.msgs));
+      args.set("bytes", static_cast<std::int64_t>(e.bytes));
+      ev.set("args", std::move(args));
+      events.push_back(std::move(ev));
+    }
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+void write_metrics_json(const std::string& path,
+                        const std::vector<RankMetrics>& ranks) {
+  Json doc = metrics_to_json(ranks);
+  validate_metrics_json(doc);
+  write_json_file(path, doc);
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<RankMetrics>& ranks) {
+  write_json_file(path, chrome_trace_json(ranks));
+}
+
+}  // namespace pkifmm::obs

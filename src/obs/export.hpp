@@ -1,0 +1,65 @@
+#pragma once
+/// \file export.hpp
+/// \brief Exporters: RankMetrics snapshots -> metrics.json / Chrome
+/// trace_event JSON, plus the inverse parse for round-trip testing.
+///
+/// Schema "pkifmm.metrics.v1" (flat machine-readable metrics):
+///
+///   {
+///     "schema": "pkifmm.metrics.v1",
+///     "nranks": <int>,
+///     "ranks": [
+///       { "rank": <int>,
+///         "counters":   { "<name>": <double>, ... },
+///         "gauges":     { "<name>": <double>, ... },
+///         "histograms": { "<name>": { "count", "sum", "min", "max",
+///                                     "buckets": [[bucket, count], ...] } },
+///         "spans": [ { "name", "start", "wall", "cpu", "flops",
+///                      "msgs", "bytes", "parent", "depth" }, ... ] },
+///       ...
+///     ],
+///     "totals": { "counters": { "<name>": <sum across ranks> } }
+///   }
+///
+/// Canonical counter names written by comm::Runtime for every rank:
+///   time.<phase>.wall / time.<phase>.cpu     seconds (PhaseTimer)
+///   flops.<phase>                            analytic flops (FlopCounter)
+///   comm.<phase>.msgs_sent / .bytes_sent     per-phase sends (CostTracker)
+///   comm.<phase>.msgs_recv / .bytes_recv
+///   coll.<collective>.calls / .rounds / .msgs / .bytes
+///
+/// The Chrome trace export ("trace_event" JSON-array format, load via
+/// chrome://tracing or Perfetto) maps rank -> tid and emits one
+/// complete ("ph":"X") event per span with flops/msgs/bytes in args.
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace pkifmm::obs {
+
+inline constexpr const char* kMetricsSchema = "pkifmm.metrics.v1";
+
+/// Serializes snapshots into the metrics.json schema above.
+Json metrics_to_json(const std::vector<RankMetrics>& ranks);
+
+/// Parses a metrics.json document back into snapshots (round-trip
+/// inverse of metrics_to_json; throws CheckFailure on schema errors).
+std::vector<RankMetrics> metrics_from_json(const Json& doc);
+
+/// Validates the structural schema of a metrics.json document; throws
+/// CheckFailure with a description of the first violation.
+void validate_metrics_json(const Json& doc);
+
+/// Chrome trace_event document ({"traceEvents": [...]}) for the spans.
+Json chrome_trace_json(const std::vector<RankMetrics>& ranks);
+
+/// Convenience file writers (schema-validated before writing).
+void write_metrics_json(const std::string& path,
+                        const std::vector<RankMetrics>& ranks);
+void write_chrome_trace(const std::string& path,
+                        const std::vector<RankMetrics>& ranks);
+
+}  // namespace pkifmm::obs

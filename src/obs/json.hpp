@@ -1,0 +1,129 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON value type with serialization and parsing.
+///
+/// The observability layer exports metrics.json and Chrome trace_event
+/// files, and the tests round-trip them (write -> parse -> compare).
+/// The container has no JSON dependency baked in, so this implements
+/// the small subset pkifmm needs: objects, arrays, strings, doubles,
+/// 64-bit integers, booleans and null. Numbers are written with enough
+/// precision that a parse of our own output is lossless.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pkifmm::obs {
+
+/// A JSON document node. Objects preserve key order via a side vector
+/// so exported files are deterministic and diffable run-over-run.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v) : type_(Type::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  bool as_bool() const {
+    PKIFMM_CHECK(type_ == Type::kBool);
+    return bool_;
+  }
+  std::int64_t as_int() const {
+    PKIFMM_CHECK(type_ == Type::kInt);
+    return int_;
+  }
+  double as_double() const {
+    PKIFMM_CHECK(is_number());
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const {
+    PKIFMM_CHECK(type_ == Type::kString);
+    return str_;
+  }
+
+  /// Array access.
+  void push_back(Json v) {
+    PKIFMM_CHECK(type_ == Type::kArray);
+    items_.push_back(std::move(v));
+  }
+  std::size_t size() const {
+    PKIFMM_CHECK(type_ == Type::kArray || type_ == Type::kObject);
+    return type_ == Type::kArray ? items_.size() : keys_.size();
+  }
+  const Json& at(std::size_t i) const {
+    PKIFMM_CHECK(type_ == Type::kArray && i < items_.size());
+    return items_[i];
+  }
+  const std::vector<Json>& items() const {
+    PKIFMM_CHECK(type_ == Type::kArray);
+    return items_;
+  }
+
+  /// Object access. set() overwrites an existing key in place.
+  void set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  const std::vector<std::string>& keys() const {
+    PKIFMM_CHECK(type_ == Type::kObject);
+    return keys_;
+  }
+
+  /// Serializes to a string; indent > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a JSON document; throws CheckFailure on malformed input.
+  static Json parse(const std::string& text);
+
+  /// Structural equality (ints compare equal to numerically-equal
+  /// doubles so round-trips through text compare clean).
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;                // array elements
+  std::vector<std::string> keys_;          // object key order
+  std::map<std::string, Json> fields_;     // object storage
+};
+
+/// Writes `j` to `path` (pretty-printed); throws CheckFailure on I/O
+/// failure.
+void write_json_file(const std::string& path, const Json& j, int indent = 2);
+
+/// Reads and parses a JSON file; throws CheckFailure on I/O or parse
+/// failure.
+Json read_json_file(const std::string& path);
+
+}  // namespace pkifmm::obs

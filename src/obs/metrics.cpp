@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ctime>
+
+namespace pkifmm::obs {
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double wall_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+void Histogram::observe(double v) {
+  PKIFMM_DCHECK(v >= 0.0);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  int b = 0;
+  if (v > 1.0)
+    b = std::clamp(static_cast<int>(std::ceil(std::log2(v))), 1, kBuckets - 1);
+  ++buckets_[b];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+}
+
+Histogram Histogram::from_parts(std::uint64_t count, double sum, double min,
+                                double max,
+                                const std::uint64_t (&buckets)[kBuckets]) {
+  Histogram h;
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  std::copy(buckets, buckets + kBuckets, h.buckets_);
+  return h;
+}
+
+bool Histogram::operator==(const Histogram& other) const {
+  return count_ == other.count_ && sum_ == other.sum_ &&
+         min_ == other.min_ && max_ == other.max_ &&
+         std::equal(buckets_, buckets_ + kBuckets, other.buckets_);
+}
+
+double RankMetrics::child_wall_sum(std::size_t i) const {
+  double total = 0.0;
+  for (const SpanEvent& e : spans)
+    if (e.parent == static_cast<std::int32_t>(i)) total += e.wall;
+  return total;
+}
+
+std::size_t Recorder::open_span(std::string name) {
+  SpanEvent e;
+  e.name = std::move(name);
+  e.start = wall_seconds() - epoch_;
+  e.parent = open_.empty() ? -1
+                           : static_cast<std::int32_t>(open_.back().idx);
+  e.depth = static_cast<std::int32_t>(open_.size());
+  const std::size_t idx = metrics_.spans.size();
+  metrics_.spans.push_back(std::move(e));
+  open_.push_back({idx, thread_cpu_seconds(), flops_total_, msgs_total_,
+                   bytes_total_});
+  return idx;
+}
+
+const SpanEvent& Recorder::close_span(std::size_t idx) {
+  PKIFMM_CHECK_MSG(!open_.empty() && open_.back().idx == idx,
+                   "spans must close innermost-first");
+  const OpenSpan o = open_.back();
+  open_.pop_back();
+  SpanEvent& e = metrics_.spans[idx];
+  e.wall = wall_seconds() - epoch_ - e.start;
+  e.cpu = thread_cpu_seconds() - o.cpu_start;
+  e.flops = flops_total_ - o.flops0;
+  e.msgs = msgs_total_ - o.msgs0;
+  e.bytes = bytes_total_ - o.bytes0;
+  return e;
+}
+
+Recorder& Registry::recorder(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& r = recorders_[rank];
+  if (!r) r = std::make_unique<Recorder>(rank);
+  return *r;
+}
+
+std::vector<RankMetrics> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RankMetrics> out;
+  out.reserve(recorders_.size());
+  for (const auto& [rank, rec] : recorders_) out.push_back(rec->snapshot());
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorders_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry g;
+  return g;
+}
+
+}  // namespace pkifmm::obs

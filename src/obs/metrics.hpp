@@ -1,0 +1,247 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Process-wide observability: metrics registry + span tracer.
+///
+/// The paper's evidence is per-phase, per-rank accounting (Table II's
+/// Max/Avg time-and-flops breakdown, Fig. 5's per-rank flop variance,
+/// the message/round counts behind the hypercube reduce-scatter claim).
+/// obs is the single substrate all of that reports into:
+///
+///  - Recorder: one per simulated rank. Counters, gauges, per-phase
+///    histograms, and a span-based tracer. Every completed span records
+///    (name, start, wall, cpu, flops, msgs, bytes, parent) where the
+///    flop/msg/byte attribution is the delta of the rank totals between
+///    span open and close — so nested spans never double-count.
+///  - Registry: process-wide owner of Recorders with per-rank scoping.
+///    comm::Runtime binds one Recorder per rank; standalone code can use
+///    Registry::global().
+///
+/// Exporters (export.hpp) turn Recorder snapshots into a flat
+/// metrics.json and a Chrome trace_event JSON.
+///
+/// Recorder is intentionally NOT thread-safe: each simulated rank owns
+/// its Recorder, mirroring PhaseTimer/FlopCounter. Registry's recorder
+/// lookup is mutex-guarded so ranks can bind concurrently.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pkifmm::obs {
+
+/// Thread-CPU seconds for the calling thread (excludes blocked time).
+/// Lives here so obs has no dependency on util's timer; util forwards.
+double thread_cpu_seconds();
+
+/// Monotonic wall-clock seconds since an arbitrary process epoch.
+double wall_seconds();
+
+/// Power-of-two-bucketed histogram for nonnegative samples (message
+/// sizes, per-leaf interaction counts, span durations in microseconds).
+/// Bucket b counts samples in (2^(b-1), 2^b]; bucket 0 counts samples
+/// <= 1.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  const std::uint64_t* buckets() const { return buckets_; }
+
+  /// Elementwise merge (for cross-rank aggregation).
+  void merge(const Histogram& other);
+
+  /// Rebuilds a histogram from serialized parts (export round-trip).
+  static Histogram from_parts(std::uint64_t count, double sum, double min,
+                              double max,
+                              const std::uint64_t (&buckets)[kBuckets]);
+
+  bool operator==(const Histogram& other) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+/// One completed span: a named interval on one rank, with the work and
+/// communication attributed to it (deltas of the rank totals between
+/// open and close, so a parent's numbers include its children's).
+struct SpanEvent {
+  std::string name;
+  double start = 0.0;        ///< seconds since the recorder's epoch
+  double wall = 0.0;         ///< inclusive wall seconds
+  double cpu = 0.0;          ///< inclusive thread-CPU seconds
+  std::uint64_t flops = 0;   ///< flops reported while the span was open
+  std::uint64_t msgs = 0;    ///< messages sent while the span was open
+  std::uint64_t bytes = 0;   ///< bytes sent while the span was open
+  std::int32_t parent = -1;  ///< index into the same spans vector
+  std::int32_t depth = 0;    ///< 0 = top-level
+};
+
+/// Copyable snapshot of everything one rank recorded.
+struct RankMetrics {
+  int rank = 0;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  std::vector<SpanEvent> spans;
+
+  /// Sum of wall seconds over the direct children of span `i`. The
+  /// tracer invariant (asserted in tests) is child_wall_sum(i) <=
+  /// spans[i].wall up to scheduler noise.
+  double child_wall_sum(std::size_t i) const;
+};
+
+/// Per-rank recording surface. All mutation goes through here.
+class Recorder {
+ public:
+  explicit Recorder(int rank = 0) : epoch_(wall_seconds()) {
+    metrics_.rank = rank;
+  }
+
+  int rank() const { return metrics_.rank; }
+
+  // --- metrics -----------------------------------------------------
+  void counter_add(const std::string& name, double v = 1.0) {
+    metrics_.counters[name] += v;
+  }
+  double counter(const std::string& name) const {
+    auto it = metrics_.counters.find(name);
+    return it == metrics_.counters.end() ? 0.0 : it->second;
+  }
+  void gauge_set(const std::string& name, double v) {
+    metrics_.gauges[name] = v;
+  }
+  void observe(const std::string& name, double v) {
+    metrics_.histograms[name].observe(v);
+  }
+  /// Stable histogram handle for hot paths (per-message observes): the
+  /// pointer stays valid for the recorder's lifetime.
+  Histogram* histogram(const std::string& name) {
+    return &metrics_.histograms[name];
+  }
+
+  // --- span attribution feeds --------------------------------------
+  /// Reported by FlopCounter; attributed to every open span.
+  void add_flops(std::uint64_t n) { flops_total_ += n; }
+  /// Reported by comm::CostTracker on every send.
+  void add_sent(std::uint64_t msgs, std::uint64_t bytes) {
+    msgs_total_ += msgs;
+    bytes_total_ += bytes;
+  }
+  std::uint64_t flops_total() const { return flops_total_; }
+
+  // --- tracer ------------------------------------------------------
+  /// RAII span. Move-only; closes on destruction unless close() was
+  /// called explicitly (which returns the measured durations so a
+  /// caller can reuse the single measurement, e.g. PhaseTimer).
+  class Span {
+   public:
+    Span(Recorder& rec, std::string name) : rec_(&rec) {
+      idx_ = rec.open_span(std::move(name));
+    }
+    Span(Span&& other) noexcept : rec_(other.rec_), idx_(other.idx_) {
+      other.rec_ = nullptr;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span& operator=(Span&&) = delete;
+    ~Span() {
+      if (rec_) rec_->close_span(idx_);
+    }
+
+    struct Durations {
+      double wall = 0.0;
+      double cpu = 0.0;
+    };
+    /// Closes now and returns the span's wall/cpu durations.
+    Durations close() {
+      PKIFMM_CHECK(rec_ != nullptr);
+      const SpanEvent& e = rec_->close_span(idx_);
+      rec_ = nullptr;
+      return {e.wall, e.cpu};
+    }
+
+   private:
+    Recorder* rec_;
+    std::size_t idx_ = 0;
+  };
+
+  Span span(std::string name) { return Span(*this, std::move(name)); }
+
+  // --- snapshot ----------------------------------------------------
+  const RankMetrics& metrics() const { return metrics_; }
+  /// Copy of the snapshot; open spans are not included.
+  RankMetrics snapshot() const { return metrics_; }
+
+  void clear() {
+    metrics_.counters.clear();
+    metrics_.gauges.clear();
+    metrics_.histograms.clear();
+    metrics_.spans.clear();
+    PKIFMM_CHECK_MSG(open_.empty(), "clear() with open spans");
+    flops_total_ = 0;
+    msgs_total_ = 0;
+    bytes_total_ = 0;
+  }
+
+ private:
+  friend class Span;
+
+  struct OpenSpan {
+    std::size_t idx;        ///< slot in metrics_.spans
+    double cpu_start;
+    std::uint64_t flops0, msgs0, bytes0;
+  };
+
+  std::size_t open_span(std::string name);
+  const SpanEvent& close_span(std::size_t idx);
+
+  RankMetrics metrics_;
+  std::vector<OpenSpan> open_;
+  double epoch_;
+  std::uint64_t flops_total_ = 0;
+  std::uint64_t msgs_total_ = 0;
+  std::uint64_t bytes_total_ = 0;
+};
+
+/// Process-wide registry of per-rank Recorders. One Registry per SPMD
+/// execution (comm::Runtime creates one per run); Registry::global()
+/// serves code outside a Runtime.
+class Registry {
+ public:
+  Registry() = default;
+
+  /// The recorder scoped to `rank`, created on first use. The returned
+  /// reference stays valid for the registry's lifetime.
+  Recorder& recorder(int rank);
+
+  /// Snapshot of every rank seen so far, ordered by rank.
+  std::vector<RankMetrics> snapshot() const;
+
+  /// Drops all recorders (e.g. between bench repetitions).
+  void reset();
+
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, std::unique_ptr<Recorder>> recorders_;
+};
+
+}  // namespace pkifmm::obs

@@ -12,16 +12,24 @@
 #include <map>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace pkifmm {
 
 /// Rank-local flop accounting keyed by phase name. Not thread-safe by
-/// design: one instance per simulated rank.
+/// design: one instance per simulated rank. A bound obs::Recorder
+/// additionally attributes every report to the currently-open spans,
+/// which is how the trace gets per-stage flops.
 class FlopCounter {
  public:
   void add(const std::string& phase, std::uint64_t flops) {
     phases_[phase] += flops;
     total_ += flops;
+    if (rec_ != nullptr) rec_->add_flops(flops);
   }
+
+  /// Binds the per-rank recorder for span flop attribution.
+  void bind(obs::Recorder* rec) { rec_ = rec; }
 
   std::uint64_t get(const std::string& phase) const {
     auto it = phases_.find(phase);
@@ -42,6 +50,7 @@ class FlopCounter {
  private:
   std::map<std::string, std::uint64_t> phases_;
   std::uint64_t total_ = 0;
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace pkifmm

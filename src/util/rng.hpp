@@ -35,10 +35,12 @@ class Rng {
     for (auto& s : s_) s = sm.next();
   }
 
-  /// Independent stream for a given rank: reseeds with a mixed value so
-  /// streams do not overlap in practice.
-  Rng(std::uint64_t seed, int rank)
-      : Rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1))) {}
+  /// Independent stream for a given rank. Both words go through a full
+  /// SplitMix64 avalanche before the state expansion: the previous
+  /// `seed ^ (c * (rank+1))` derivation was linear in (seed, rank), so
+  /// distinct pairs could collide or leave correlated state; after
+  /// mixing, a collision requires a generic 2^-64 hash collision.
+  Rng(std::uint64_t seed, int rank) : Rng(mix_seed_rank(seed, rank)) {}
 
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
@@ -74,6 +76,12 @@ class Rng {
   }
 
  private:
+  static std::uint64_t mix_seed_rank(std::uint64_t seed, int rank) {
+    SplitMix64 first(seed);
+    SplitMix64 second(first.next() + static_cast<std::uint64_t>(rank));
+    return second.next();
+  }
+
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

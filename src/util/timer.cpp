@@ -1,14 +1,7 @@
 #include "util/timer.hpp"
 
-#include <ctime>
-
 namespace pkifmm {
 
-double thread_cpu_seconds() {
-  timespec ts{};
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) +
-         static_cast<double>(ts.tv_nsec) * 1e-9;
-}
+double thread_cpu_seconds() { return obs::thread_cpu_seconds(); }
 
 }  // namespace pkifmm

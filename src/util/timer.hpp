@@ -6,11 +6,20 @@
 /// PhaseTimer accumulates named intervals so the driver can report the
 /// same breakdown (Upward, U-list, V-list, W-list, X-list, Downward,
 /// Comm, ...).
+///
+/// PhaseTimer is a thin wrapper over the obs span tracer: when a
+/// recorder is bound (comm::Runtime binds one per rank), every Scope is
+/// measured by exactly one obs span — the tracer is the single source
+/// of truth, and the flat phase map is derived from the same
+/// measurement, so trace and table can never disagree.
 
 #include <chrono>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace pkifmm {
 
@@ -42,15 +51,26 @@ double thread_cpu_seconds();
 /// thread-safe: each simulated rank owns its own PhaseTimer.
 class PhaseTimer {
  public:
-  /// RAII scope that adds its lifetime to the named phase.
+  /// RAII scope that adds its lifetime to the named phase. With a bound
+  /// recorder the interval is measured once, by the obs span; without
+  /// one (standalone PhaseTimer, e.g. in unit tests) it self-measures.
   class Scope {
    public:
     Scope(PhaseTimer& owner, std::string name)
-        : owner_(owner), name_(std::move(name)),
-          cpu_start_(thread_cpu_seconds()) {}
+        : owner_(owner), name_(std::move(name)) {
+      if (owner_.rec_ != nullptr)
+        span_.emplace(*owner_.rec_, name_);
+      else
+        cpu_start_ = thread_cpu_seconds();
+    }
     ~Scope() {
-      owner_.add(name_, timer_.seconds(),
-                 thread_cpu_seconds() - cpu_start_);
+      if (span_) {
+        const auto d = span_->close();
+        owner_.add(name_, d.wall, d.cpu);
+      } else {
+        owner_.add(name_, timer_.seconds(),
+                   thread_cpu_seconds() - cpu_start_);
+      }
     }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
@@ -58,11 +78,16 @@ class PhaseTimer {
    private:
     PhaseTimer& owner_;
     std::string name_;
+    std::optional<obs::Recorder::Span> span_;
     Timer timer_;
-    double cpu_start_;
+    double cpu_start_ = 0.0;
   };
 
   Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  /// Binds the per-rank recorder; scopes then record spans too.
+  void bind(obs::Recorder* rec) { rec_ = rec; }
+  obs::Recorder* recorder() const { return rec_; }
 
   void add(const std::string& name, double wall_seconds,
            double cpu_seconds = 0.0) {
@@ -93,6 +118,7 @@ class PhaseTimer {
  private:
   std::map<std::string, double> phases_;
   std::map<std::string, double> cpu_phases_;
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace pkifmm

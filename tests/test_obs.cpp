@@ -1,0 +1,423 @@
+/// Observability layer tests: JSON round-trips, recorder/span
+/// invariants, exporter schemas, the PhaseTimer single-measurement
+/// contract, and a Table II-shaped integration run asserting the nine
+/// paper phases show up with real work attributed to them.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "comm/comm.hpp"
+#include "core/fmm.hpp"
+#include "kernels/kernel.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "octree/points.hpp"
+#include "util/check.hpp"
+#include "util/flops.hpp"
+#include "util/timer.hpp"
+
+namespace pkifmm::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text = R"({
+  "schema": "pkifmm.metrics.v1",
+  "pi": 3.141592653589793,
+  "n": -42,
+  "big": 9007199254740993,
+  "flag": true,
+  "none": null,
+  "esc": "quote\" slash\\ newline\n tab\t",
+  "arr": [1, 2.5, "x", [], {}]
+})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.at("schema").as_string(), "pkifmm.metrics.v1");
+  EXPECT_DOUBLE_EQ(doc.at("pi").as_double(), 3.141592653589793);
+  EXPECT_EQ(doc.at("n").as_int(), -42);
+  // Above 2^53: must survive as an integer, not a rounded double.
+  EXPECT_EQ(doc.at("big").as_int(), 9007199254740993LL);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_TRUE(doc.at("none").is_null());
+  EXPECT_EQ(doc.at("esc").as_string(), "quote\" slash\\ newline\n tab\t");
+  EXPECT_EQ(doc.at("arr").size(), 5u);
+
+  // dump -> parse -> structurally identical, both compact and pretty.
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+  EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(Json, ObjectKeyOrderIsPreserved) {
+  Json obj = Json::object();
+  obj.set("zulu", 1);
+  obj.set("alpha", 2);
+  obj.set("mike", 3);
+  obj.set("zulu", 4);  // overwrite keeps position
+  ASSERT_EQ(obj.keys().size(), 3u);
+  EXPECT_EQ(obj.keys()[0], "zulu");
+  EXPECT_EQ(obj.keys()[1], "alpha");
+  EXPECT_EQ(obj.keys()[2], "mike");
+  EXPECT_EQ(obj.at("zulu").as_int(), 4);
+  const Json reparsed = Json::parse(obj.dump());
+  EXPECT_EQ(reparsed.keys(), obj.keys());
+}
+
+TEST(Json, DoubleRoundTripIsExact) {
+  for (double v : {0.0, -0.0, 1e-300, 6.02214076e23, 0.1, 1.0 / 3.0,
+                   123456.789012345678}) {
+    Json j(v);
+    const Json back = Json::parse(j.dump());
+    EXPECT_EQ(back.type(), Json::Type::kDouble) << v;
+    EXPECT_EQ(back.as_double(), v);
+  }
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse("{"), CheckFailure);
+  EXPECT_THROW(Json::parse("[1, 2,]"), CheckFailure);
+  EXPECT_THROW(Json::parse("\"unterminated"), CheckFailure);
+  EXPECT_THROW(Json::parse("{\"a\": 1} trailing"), CheckFailure);
+  EXPECT_THROW(Json::parse("nul"), CheckFailure);
+}
+
+// ----------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketsAndRoundTrip) {
+  Histogram h;
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0
+  h.observe(2.0);  // bucket 1
+  h.observe(1000.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1003.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[10], 1u);  // 2^9 < 1000 <= 2^10
+
+  Histogram other;
+  other.observe(4096.0);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.buckets()[12], 1u);
+
+  std::uint64_t buckets[Histogram::kBuckets];
+  for (int i = 0; i < Histogram::kBuckets; ++i) buckets[i] = h.buckets()[i];
+  const Histogram rebuilt =
+      Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), buckets);
+  EXPECT_TRUE(rebuilt == h);
+}
+
+// ------------------------------------------------------------ Recorder
+
+TEST(Recorder, SpanAttributionIsDeltaBased) {
+  Recorder rec(3);
+  {
+    auto outer = rec.span("outer");
+    rec.add_flops(100);
+    rec.add_sent(2, 64);
+    {
+      auto inner = rec.span("inner");
+      rec.add_flops(40);
+      rec.add_sent(1, 32);
+    }
+    rec.add_flops(5);
+  }
+  const RankMetrics m = rec.snapshot();
+  ASSERT_EQ(m.spans.size(), 2u);
+  // Spans are stored in open order; the inner one closed first but
+  // keeps its slot.
+  const SpanEvent& outer = m.spans[0];
+  const SpanEvent& inner = m.spans[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.parent, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(outer.parent, -1);
+  EXPECT_EQ(outer.depth, 0);
+  // Parent totals are inclusive of the child's.
+  EXPECT_EQ(inner.flops, 40u);
+  EXPECT_EQ(outer.flops, 145u);
+  EXPECT_EQ(inner.msgs, 1u);
+  EXPECT_EQ(outer.msgs, 3u);
+  EXPECT_EQ(inner.bytes, 32u);
+  EXPECT_EQ(outer.bytes, 96u);
+  // Wall-clock nesting: children cannot exceed the parent.
+  EXPECT_LE(m.child_wall_sum(0), outer.wall + 1e-9);
+  EXPECT_GE(inner.start, outer.start);
+}
+
+TEST(Recorder, SpansMustCloseInnermostFirst) {
+  Recorder rec;
+  auto outer = rec.span("outer");
+  auto inner = rec.span("inner");
+  EXPECT_THROW(outer.close(), CheckFailure);
+  (void)inner.close();
+  (void)outer.close();
+}
+
+TEST(Registry, PerRankScoping) {
+  Registry reg;
+  reg.recorder(2).counter_add("x", 5.0);
+  reg.recorder(0).counter_add("x", 1.0);
+  reg.recorder(2).counter_add("x", 5.0);
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].rank, 0);
+  EXPECT_EQ(snaps[1].rank, 2);
+  EXPECT_DOUBLE_EQ(snaps[1].counters.at("x"), 10.0);
+}
+
+// ----------------------------------------------------------- Exporters
+
+std::vector<RankMetrics> sample_ranks() {
+  std::vector<RankMetrics> out;
+  for (int r = 0; r < 2; ++r) {
+    Recorder rec(r);
+    {
+      auto eval = rec.span("eval");
+      {
+        auto s2u = rec.span("eval.s2u");
+        rec.add_flops(1000 + 7 * static_cast<std::uint64_t>(r));
+      }
+      {
+        auto comm = rec.span("eval.comm");
+        rec.add_sent(3, 4096);
+      }
+    }
+    rec.counter_add("flops.eval.s2u", 1000.0 + 7 * r);
+    rec.gauge_set("tree.leaves", 42.0 + r);
+    rec.observe("comm.msg_bytes.eval.comm", 4096.0);
+    out.push_back(rec.snapshot());
+  }
+  return out;
+}
+
+TEST(Export, MetricsJsonRoundTrip) {
+  const auto ranks = sample_ranks();
+  const Json doc = metrics_to_json(ranks);
+  validate_metrics_json(doc);
+  EXPECT_EQ(doc.at("schema").as_string(), kMetricsSchema);
+  EXPECT_EQ(doc.at("nranks").as_int(), 2);
+  // totals aggregate across ranks.
+  EXPECT_DOUBLE_EQ(
+      doc.at("totals").at("counters").at("flops.eval.s2u").as_double(),
+      2007.0);
+
+  // Serialize -> parse -> rebuild -> serialize: must be identical.
+  const Json reparsed = Json::parse(doc.dump(2));
+  EXPECT_EQ(reparsed, doc);
+  const std::vector<RankMetrics> back = metrics_from_json(reparsed);
+  ASSERT_EQ(back.size(), ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    EXPECT_EQ(back[r].rank, ranks[r].rank);
+    EXPECT_EQ(back[r].counters, ranks[r].counters);
+    EXPECT_EQ(back[r].gauges, ranks[r].gauges);
+    EXPECT_TRUE(back[r].histograms.at("comm.msg_bytes.eval.comm") ==
+                ranks[r].histograms.at("comm.msg_bytes.eval.comm"));
+    ASSERT_EQ(back[r].spans.size(), ranks[r].spans.size());
+    for (std::size_t i = 0; i < ranks[r].spans.size(); ++i) {
+      EXPECT_EQ(back[r].spans[i].name, ranks[r].spans[i].name);
+      EXPECT_EQ(back[r].spans[i].flops, ranks[r].spans[i].flops);
+      EXPECT_EQ(back[r].spans[i].parent, ranks[r].spans[i].parent);
+      EXPECT_EQ(back[r].spans[i].wall, ranks[r].spans[i].wall);
+    }
+  }
+  EXPECT_EQ(metrics_to_json(back), doc);
+}
+
+TEST(Export, FileRoundTrip) {
+  const auto ranks = sample_ranks();
+  const std::string path = ::testing::TempDir() + "pkifmm_metrics_test.json";
+  write_metrics_json(path, ranks);
+  const Json doc = read_json_file(path);
+  validate_metrics_json(doc);
+  EXPECT_EQ(doc, metrics_to_json(ranks));
+  std::remove(path.c_str());
+}
+
+TEST(Export, ValidatorRejectsBrokenDocuments) {
+  const auto ranks = sample_ranks();
+  Json doc = metrics_to_json(ranks);
+  doc.set("schema", "not.a.schema");
+  EXPECT_THROW(validate_metrics_json(doc), CheckFailure);
+
+  Json doc2 = metrics_to_json(ranks);
+  doc2.set("nranks", 99);
+  EXPECT_THROW(validate_metrics_json(doc2), CheckFailure);
+
+  EXPECT_THROW(validate_metrics_json(Json::parse("{}")), CheckFailure);
+}
+
+TEST(Export, ChromeTraceShape) {
+  const auto ranks = sample_ranks();
+  const Json doc = chrome_trace_json(ranks);
+  const auto& events = doc.at("traceEvents").items();
+  // 2 ranks x (1 thread_name metadata + 3 spans).
+  ASSERT_EQ(events.size(), 8u);
+  std::size_t meta = 0, complete = 0;
+  for (const Json& ev : events) {
+    const std::string ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      ++meta;
+      EXPECT_EQ(ev.at("name").as_string(), "thread_name");
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    EXPECT_GE(ev.at("dur").as_double(), 0.0);
+    EXPECT_GE(ev.at("ts").as_double(), 0.0);
+    const std::int64_t tid = ev.at("tid").as_int();
+    EXPECT_TRUE(tid == 0 || tid == 1);
+    EXPECT_TRUE(ev.at("args").contains("flops"));
+  }
+  EXPECT_EQ(meta, 2u);
+  EXPECT_EQ(complete, 6u);
+}
+
+// -------------------------------------- PhaseTimer single measurement
+
+/// With a recorder bound, PhaseTimer::Scope must measure through the
+/// span tracer only — the flat table and the trace come from ONE clock
+/// read, so they can never disagree (the old double-measurement setup
+/// let "Comm" time drift between the two reports).
+TEST(PhaseTimer, FlatTableEqualsSpanTotals) {
+  Recorder rec;
+  PhaseTimer timer;
+  timer.bind(&rec);
+  for (int rep = 0; rep < 3; ++rep) {
+    auto outer = timer.scope("eval.uli");
+    double sink = 0.0;
+    for (int i = 0; i < 20000; ++i) sink += 1.0 / (1.0 + i);
+    ASSERT_GT(sink, 0.0);
+    auto inner = timer.scope("eval.uli.inner");
+  }
+  const RankMetrics m = rec.snapshot();
+  ASSERT_EQ(m.spans.size(), 6u);
+
+  double span_wall = 0.0, span_cpu = 0.0;
+  for (const SpanEvent& e : m.spans)
+    if (e.name == "eval.uli") {
+      span_wall += e.wall;
+      span_cpu += e.cpu;
+    }
+  // Exact equality: the flat map is fed from the very same span close.
+  EXPECT_DOUBLE_EQ(timer.phases().at("eval.uli"), span_wall);
+  EXPECT_DOUBLE_EQ(timer.cpu_phases().at("eval.uli"), span_cpu);
+
+  // Child time is contained in parent time.
+  for (std::size_t i = 0; i < m.spans.size(); ++i)
+    EXPECT_LE(m.child_wall_sum(i), m.spans[i].wall + 1e-9) << m.spans[i].name;
+}
+
+TEST(PhaseTimer, UnboundFallbackStillAccumulates) {
+  PhaseTimer timer;
+  {
+    auto t = timer.scope("phase.a");
+    double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink += 1.0 / (1.0 + i);
+    ASSERT_GT(sink, 0.0);
+  }
+  EXPECT_GT(timer.phases().at("phase.a"), 0.0);
+  EXPECT_GE(timer.cpu_phases().at("phase.a"), 0.0);
+}
+
+// ------------------------------------------------- Table II int. test
+
+/// Table II-shaped integration check: a small nonuniform run at p=4
+/// must produce all nine paper phases (S2U, U2U, comm/reduce, VLI,
+/// XLI, D2D/down, WLI, D2T, ULI) with real work attributed — the eight
+/// compute phases carry nonzero flops and the communication phase
+/// carries nonzero message traffic. This pins the whole reporting
+/// chain: FlopCounter/CostTracker -> Recorder -> canonical counters.
+TEST(Integration, PaperPhasesAllReport) {
+  kernels::LaplaceKernel kernel;
+  core::FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 20;
+  const core::Tables tables(kernel, opts);
+
+  auto reports = comm::Runtime::run(4, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(octree::Distribution::kEllipsoid,
+                                       2000, ctx.rank(), ctx.size(), 1, 42);
+    core::ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    (void)fmm.evaluate();
+  });
+  ASSERT_EQ(reports.size(), 4u);
+
+  static const char* kComputePhases[] = {"eval.s2u", "eval.u2u", "eval.vli",
+                                         "eval.xli", "eval.down", "eval.wli",
+                                         "eval.d2t", "eval.uli"};
+  // Cross-rank totals: every compute phase did real flops somewhere,
+  // and the reduction phase moved real messages.
+  for (const char* phase : kComputePhases) {
+    double flops = 0.0, wall = 0.0;
+    for (const auto& rep : reports) {
+      const auto& c = rep.obs.counters;
+      auto fit = c.find(std::string("flops.") + phase);
+      if (fit != c.end()) flops += fit->second;
+      auto wit = c.find(std::string("time.") + phase + ".wall");
+      if (wit != c.end()) wall += wit->second;
+    }
+    EXPECT_GT(flops, 0.0) << phase;
+    EXPECT_GT(wall, 0.0) << phase;
+  }
+  double comm_msgs = 0.0;
+  for (const auto& rep : reports)
+    comm_msgs += rep.obs.counters.at("comm.eval.comm.msgs_sent");
+  EXPECT_GT(comm_msgs, 0.0);
+
+  for (const auto& rep : reports) {
+    const auto& m = rep.obs;
+    // The canonical counters mirror the legacy flat maps exactly.
+    for (const auto& [name, v] : rep.flop_phases)
+      EXPECT_DOUBLE_EQ(m.counters.at("flops." + name),
+                       static_cast<double>(v))
+          << name;
+    for (const auto& [name, v] : rep.time_phases)
+      EXPECT_DOUBLE_EQ(m.counters.at("time." + name + ".wall"), v) << name;
+
+    // Span tree: "setup" and "eval" roots exist in the trace but NOT in
+    // the flat map (prefix sums over "eval." must not double-count).
+    std::set<std::string> span_names;
+    for (const SpanEvent& e : m.spans) span_names.insert(e.name);
+    EXPECT_TRUE(span_names.count("setup"));
+    EXPECT_TRUE(span_names.count("eval"));
+    EXPECT_EQ(rep.time_phases.count("eval"), 0u);
+    EXPECT_EQ(rep.time_phases.count("setup"), 0u);
+    for (const char* phase : kComputePhases)
+      EXPECT_TRUE(span_names.count(phase)) << phase;
+    EXPECT_TRUE(span_names.count("eval.comm"));
+
+    // Tracer invariant: children are contained in their parents.
+    for (std::size_t i = 0; i < m.spans.size(); ++i)
+      EXPECT_LE(m.child_wall_sum(i), m.spans[i].wall + 1e-6)
+          << m.spans[i].name;
+
+    // Collective accounting reached the tagged counters.
+    EXPECT_GT(m.counters.at("coll.reduce_scatter.calls"), 0.0);
+    EXPECT_GT(m.counters.at("coll.reduce_scatter.msgs"), 0.0);
+    EXPECT_GT(m.counters.at("coll.allgatherv.calls"), 0.0);
+
+    // Message-size histogram saw the reduce-scatter traffic.
+    const auto hit = m.histograms.find("comm.msg_bytes.eval.comm");
+    ASSERT_NE(hit, m.histograms.end());
+    EXPECT_GT(hit->second.count(), 0u);
+  }
+
+  // The full snapshot set exports as schema-valid metrics JSON.
+  std::vector<RankMetrics> ranks;
+  for (const auto& rep : reports) ranks.push_back(rep.obs);
+  const Json doc = metrics_to_json(ranks);
+  validate_metrics_json(doc);
+  EXPECT_EQ(metrics_to_json(metrics_from_json(doc)), doc);
+}
+
+}  // namespace
+}  // namespace pkifmm::obs

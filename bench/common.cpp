@@ -6,25 +6,36 @@
 #include <mutex>
 #include <set>
 
+#include "obs/aggregate.hpp"
+
 namespace pkifmm::bench {
 
 namespace {
 
-/// Process-wide metrics log behind --metrics-out/--trace-out. Written
-/// at exit so sweeps with many run_fmm calls land in one file.
+/// Process-wide metrics log behind --metrics-out/--trace-out/
+/// --summary-out. Written at exit so sweeps with many run_fmm calls
+/// land in one file.
 struct MetricsLog {
   std::string bench;
   std::string metrics_path;
   std::string trace_path;
+  std::string summary_path;
   obs::Json runs = obs::Json::array();
   obs::Json trace_events = obs::Json::array();
+  std::vector<std::vector<obs::RankMetrics>> summary_runs;
   int run_index = 0;
   std::mutex mu;
 
   bool enabled() const {
-    return !metrics_path.empty() || !trace_path.empty();
+    return !metrics_path.empty() || !trace_path.empty() ||
+           !summary_path.empty();
   }
 };
+
+/// Multi-run traces keep pid = rank within a run (merged-timeline
+/// scheme, see obs/export.hpp) and shift each recorded run into its
+/// own pid block so sweeps stay separable in the viewer.
+constexpr std::int64_t kTraceRunPidStride = 1 << 20;
 
 MetricsLog& metrics_log() {
   static MetricsLog log;
@@ -49,6 +60,12 @@ void flush_metrics() try {
     doc.set("displayTimeUnit", "ms");
     obs::write_json_file(log.trace_path, doc);
     std::printf("[metrics] wrote %s\n", log.trace_path.c_str());
+  }
+  if (!log.summary_path.empty()) {
+    obs::write_summary_json(log.summary_path,
+                            obs::summarize_runs(log.bench, log.summary_runs));
+    std::printf("[metrics] wrote %s (%zu runs merged)\n",
+                log.summary_path.c_str(), log.summary_runs.size());
   }
 } catch (const std::exception& e) {
   // Runs at exit: an escaping exception would call std::terminate, so
@@ -84,6 +101,7 @@ void metrics_init(const Cli& cli, const std::string& bench_name) {
   log.bench = bench_name;
   log.metrics_path = cli.get("metrics-out", "");
   log.trace_path = cli.get("trace-out", "");
+  log.summary_path = cli.get("summary-out", "");
   if (log.enabled()) std::atexit(flush_metrics);
 }
 
@@ -155,15 +173,19 @@ void record_run(const std::string& kind, const ExperimentConfig& cfg,
   run.set("metrics", obs::metrics_to_json(ranks));
   log.runs.push_back(std::move(run));
 
-  // Chrome trace: one pid per recorded run so sweeps stay separable.
+  // Chrome trace: within a run pid = rank (merged-timeline scheme);
+  // each recorded run is shifted into its own pid block so sweeps stay
+  // separable.
   if (!log.trace_path.empty()) {
     obs::Json trace = obs::chrome_trace_json(ranks);
     for (const obs::Json& ev : trace.at("traceEvents").items()) {
       obs::Json copy = ev;
-      copy.set("pid", std::int64_t{log.run_index});
+      copy.set("pid", log.run_index * kTraceRunPidStride +
+                          ev.at("pid").as_int());
       log.trace_events.push_back(std::move(copy));
     }
   }
+  if (!log.summary_path.empty()) log.summary_runs.push_back(std::move(ranks));
   ++log.run_index;
 }
 

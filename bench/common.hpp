@@ -78,12 +78,17 @@ struct Experiment {
 Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel);
 
 /// Enables `--metrics-out=<path>` (flat "pkifmm.bench-metrics.v1"
-/// JSON) and `--trace-out=<path>` (Chrome trace_event JSON) for this
-/// bench. Call once right after constructing the Cli; every subsequent
-/// run_fmm/run_gpu_fmm is recorded and the files are written when the
-/// bench exits. The per-phase summaries in the metrics file are
-/// computed from the same RankReports and CostModel as the stdout
-/// tables, so the numbers agree to within formatting.
+/// JSON), `--trace-out=<path>` (Chrome trace_event JSON) and
+/// `--summary-out=<path>` (cross-rank "pkifmm.summary.v1", see
+/// obs/aggregate.hpp) for this bench. Call once right after
+/// constructing the Cli; every subsequent run_fmm/run_gpu_fmm is
+/// recorded and the files are written when the bench exits. The
+/// per-phase summaries in the metrics file are computed from the same
+/// RankReports and CostModel as the stdout tables, so the numbers
+/// agree to within formatting. The summary merges all recorded runs
+/// (per-phase accumulators folded with Accumulator::merge); it is what
+/// `bench/baseline_check` compares against a checked-in
+/// BENCH_baseline.json.
 void metrics_init(const Cli& cli, const std::string& bench_name);
 
 /// Internal: appends one run's reports to the metrics log (no-op when

@@ -25,6 +25,57 @@ void Comm::barrier() {
   }
 }
 
+namespace {
+
+/// Folds the flat per-phase tables into `m.counters` under the
+/// canonical names documented in obs/export.hpp. Shared by the
+/// Runtime::run epilogue and snapshot_with_counters so a mid-run
+/// snapshot and the final report can never use different spellings.
+void fold_flat_counters(obs::RankMetrics& m, const PhaseTimer& timer,
+                        const FlopCounter& flops, const CostTracker& cost) {
+  for (const auto& [name, v] : timer.phases())
+    m.counters["time." + name + ".wall"] += v;
+  for (const auto& [name, v] : timer.cpu_phases())
+    m.counters["time." + name + ".cpu"] += v;
+  for (const auto& [name, v] : flops.phases())
+    m.counters["flops." + name] += static_cast<double>(v);
+  for (const auto& [name, c] : cost.phases()) {
+    m.counters["comm." + name + ".msgs_sent"] +=
+        static_cast<double>(c.msgs_sent);
+    m.counters["comm." + name + ".bytes_sent"] +=
+        static_cast<double>(c.bytes_sent);
+    m.counters["comm." + name + ".msgs_recv"] +=
+        static_cast<double>(c.msgs_recv);
+    m.counters["comm." + name + ".bytes_recv"] +=
+        static_cast<double>(c.bytes_recv);
+  }
+  // Per-destination sends: one counter pair per (phase, dst) actually
+  // used, parsed back into the dense per-phase traffic matrix by
+  // obs::summarize_metrics.
+  for (const auto& [phase, peers] : cost.peer_sends()) {
+    for (const auto& [dst, p] : peers) {
+      const std::string stem = "commx." + phase + ".dst" + std::to_string(dst);
+      m.counters[stem + ".msgs"] += static_cast<double>(p.msgs);
+      m.counters[stem + ".bytes"] += static_cast<double>(p.bytes);
+    }
+  }
+  for (const auto& [name, s] : cost.collectives()) {
+    m.counters["coll." + name + ".calls"] += static_cast<double>(s.calls);
+    m.counters["coll." + name + ".rounds"] += static_cast<double>(s.rounds);
+    m.counters["coll." + name + ".msgs"] += static_cast<double>(s.msgs);
+    m.counters["coll." + name + ".bytes"] += static_cast<double>(s.bytes);
+  }
+}
+
+}  // namespace
+
+obs::RankMetrics snapshot_with_counters(const RankCtx& ctx) {
+  obs::RankMetrics m = ctx.rec.snapshot();
+  m.gauges["obs.epoch"] = ctx.rec.epoch();
+  fold_flat_counters(m, ctx.timer, ctx.flops, ctx.comm.cost());
+  return m;
+}
+
 std::vector<RankReport> Runtime::run(
     int nranks, const std::function<void(RankCtx&)>& fn) {
   PKIFMM_CHECK(nranks >= 1);
@@ -56,40 +107,16 @@ std::vector<RankReport> Runtime::run(
     }
     // Publish the flat maps as canonical obs counters (naming scheme
     // documented in obs/export.hpp) so one snapshot carries everything.
-    for (const auto& [name, v] : timer.phases())
-      rec.counter_add("time." + name + ".wall", v);
-    for (const auto& [name, v] : timer.cpu_phases())
-      rec.counter_add("time." + name + ".cpu", v);
-    for (const auto& [name, v] : flops.phases())
-      rec.counter_add("flops." + name, static_cast<double>(v));
-    for (const auto& [name, c] : cost.phases()) {
-      rec.counter_add("comm." + name + ".msgs_sent",
-                      static_cast<double>(c.msgs_sent));
-      rec.counter_add("comm." + name + ".bytes_sent",
-                      static_cast<double>(c.bytes_sent));
-      rec.counter_add("comm." + name + ".msgs_recv",
-                      static_cast<double>(c.msgs_recv));
-      rec.counter_add("comm." + name + ".bytes_recv",
-                      static_cast<double>(c.bytes_recv));
-    }
-    for (const auto& [name, s] : cost.collectives()) {
-      rec.counter_add("coll." + name + ".calls",
-                      static_cast<double>(s.calls));
-      rec.counter_add("coll." + name + ".rounds",
-                      static_cast<double>(s.rounds));
-      rec.counter_add("coll." + name + ".msgs", static_cast<double>(s.msgs));
-      rec.counter_add("coll." + name + ".bytes",
-                      static_cast<double>(s.bytes));
-    }
-
     RankReport& rep = reports[rank];
+    rep.obs = rec.snapshot();
+    rep.obs.gauges["obs.epoch"] = rec.epoch();
+    fold_flat_counters(rep.obs, timer, flops, cost);
     cost.bind(nullptr);  // the recorder dies with this run
     rep.cost = std::move(cost);
     rep.time_phases = timer.phases();
     rep.cpu_phases = timer.cpu_phases();
     rep.flop_phases = flops.phases();
     rep.total_flops = flops.total();
-    rep.obs = rec.snapshot();
   };
 
   if (nranks == 1) {

@@ -185,7 +185,7 @@ class Comm {
   }
 
   void raw_send(int dest, int tag, Bytes payload) {
-    cost_.on_send(payload.size());
+    cost_.on_send(dest, payload.size());
     fabric_.send(rank_, dest, tag, std::move(payload));
   }
 
@@ -227,6 +227,14 @@ struct RankReport {
   std::uint64_t total_flops = 0;
   obs::RankMetrics obs;                           ///< spans + counters
 };
+
+/// Copy of ctx.rec's snapshot with the flat timer/flop/cost tables
+/// folded in as the canonical `time.*` / `flops.*` / `comm.*` /
+/// `commx.*` / `coll.*` counters and the `obs.epoch` gauge — exactly
+/// what Runtime::run publishes into RankReport::obs at the end of the
+/// run, but available mid-run (core::ParallelFmm gathers it across
+/// ranks at the end of evaluate() to build the cross-rank summary).
+obs::RankMetrics snapshot_with_counters(const RankCtx& ctx);
 
 /// Launches p simulated ranks (threads) running fn and returns their
 /// reports. If any rank throws, the fabric is poisoned so the remaining

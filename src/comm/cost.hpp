@@ -46,10 +46,13 @@ class CostTracker {
                     : nullptr;
   }
 
-  void on_send(std::size_t bytes) {
+  void on_send(int dest, std::size_t bytes) {
     auto& c = phases_[phase_];
     ++c.msgs_sent;
     c.bytes_sent += bytes;
+    auto& p = peer_sends_[phase_][dest];
+    ++p.msgs;
+    p.bytes += bytes;
     ++total_msgs_sent_;
     total_bytes_sent_ += bytes;
     if (rec_ != nullptr) rec_->add_sent(1, bytes);
@@ -66,6 +69,17 @@ class CostTracker {
     std::uint64_t bytes_sent = 0;
     std::uint64_t msgs_recv = 0;
     std::uint64_t bytes_recv = 0;
+  };
+
+  /// Messages/bytes this rank sent to one destination within one phase
+  /// — the (src, dst, phase) attribution behind the cross-rank traffic
+  /// matrix (src is implicitly the owning rank). Row r of the matrix
+  /// assembled by obs::summarize_metrics is rank r's peer_sends(); the
+  /// per-phase row sums therefore equal the Counters sent totals by
+  /// construction, which the tests pin.
+  struct PeerCounters {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
   };
 
   /// Per-collective accounting: number of invocations, point-to-point
@@ -129,8 +143,15 @@ class CostTracker {
 
   const std::map<std::string, Counters>& phases() const { return phases_; }
 
+  /// phase -> destination rank -> sends charged to that (dst, phase).
+  const std::map<std::string, std::map<int, PeerCounters>>& peer_sends()
+      const {
+    return peer_sends_;
+  }
+
   void clear() {
     phases_.clear();
+    peer_sends_.clear();
     collectives_.clear();
     total_msgs_sent_ = 0;
     total_bytes_sent_ = 0;
@@ -139,6 +160,7 @@ class CostTracker {
  private:
   std::string phase_ = "default";
   std::map<std::string, Counters> phases_;
+  std::map<std::string, std::map<int, PeerCounters>> peer_sends_;
   std::map<std::string, CollStats> collectives_;
   std::uint64_t total_msgs_sent_ = 0;
   std::uint64_t total_bytes_sent_ = 0;

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/aggregate.hpp"
 #include "octree/balance.hpp"
 
 namespace pkifmm::core {
@@ -70,40 +71,54 @@ void ParallelFmm::set_densities(const std::vector<std::uint64_t>& gids,
 
 ParallelFmm::Result ParallelFmm::evaluate(bool with_gradient) {
   PKIFMM_CHECK_MSG(let_ != nullptr, "setup() must run before evaluate()");
-  auto root = ctx_.rec.span("eval");
-  ctx_.comm.cost().set_phase("eval.comm");
-  if (densities_dirty_) {
-    auto t = ctx_.timer.scope("eval.comm");
-    octree::refresh_ghost_densities(ctx_.comm, *let_);
-    densities_dirty_ = false;
-  }
-
-  Evaluator eval(tables_, *let_, ctx_);
-  eval.run();
-
-  std::vector<double> grad;
-  if (with_gradient) {
-    auto t = ctx_.timer.scope("eval.grad");
-    grad = eval.target_gradient();
-  }
-
   Result out;
-  const int td = tables_.tdim();
-  const auto f = eval.potential();
-  for (const octree::LetNode& node : let_->nodes) {
-    if (!(node.owned && node.global_leaf)) continue;
-    const auto pts = let_->points_of(node);
-    // Potentials exist only for the leading target points of each leaf.
-    for (std::size_t k = 0; k < node.target_count; ++k) {
-      out.gids.push_back(pts[k].gid);
-      const std::size_t base = (node.point_begin + k) * td;
-      for (int c = 0; c < td; ++c) out.potentials.push_back(f[base + c]);
-      if (with_gradient) {
-        const std::size_t gbase = (node.point_begin + k) * 3;
-        for (int c = 0; c < 3; ++c)
-          out.gradients.push_back(grad[gbase + c]);
+  {
+    auto root = ctx_.rec.span("eval");
+    ctx_.comm.cost().set_phase("eval.comm");
+    if (densities_dirty_) {
+      auto t = ctx_.timer.scope("eval.comm");
+      octree::refresh_ghost_densities(ctx_.comm, *let_);
+      densities_dirty_ = false;
+    }
+
+    Evaluator eval(tables_, *let_, ctx_);
+    eval.run();
+
+    std::vector<double> grad;
+    if (with_gradient) {
+      auto t = ctx_.timer.scope("eval.grad");
+      grad = eval.target_gradient();
+    }
+
+    const int td = tables_.tdim();
+    const auto f = eval.potential();
+    for (const octree::LetNode& node : let_->nodes) {
+      if (!(node.owned && node.global_leaf)) continue;
+      const auto pts = let_->points_of(node);
+      // Potentials exist only for the leading target points of each
+      // leaf.
+      for (std::size_t k = 0; k < node.target_count; ++k) {
+        out.gids.push_back(pts[k].gid);
+        const std::size_t base = (node.point_begin + k) * td;
+        for (int c = 0; c < td; ++c) out.potentials.push_back(f[base + c]);
+        if (with_gradient) {
+          const std::size_t gbase = (node.point_begin + k) * 3;
+          for (int c = 0; c < 3; ++c)
+            out.gradients.push_back(grad[gbase + c]);
+        }
       }
     }
+  }
+
+  // Cross-rank observability gather (outside the "eval" span, charged
+  // to its own phase): snapshot the flat metric table first so the
+  // gather's own traffic never appears in the summary it produces,
+  // then allgather the snapshots and aggregate on every rank.
+  ctx_.comm.cost().set_phase("obs.gather");
+  const obs::RankMetrics mine = comm::snapshot_with_counters(ctx_);
+  {
+    auto t = ctx_.timer.scope("obs.gather");
+    summary_ = obs::summarize_metrics(obs::gather_metrics(ctx_.comm, mine));
   }
   return out;
 }

@@ -23,6 +23,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/tables.hpp"
+#include "obs/json.hpp"
 #include "octree/partition.hpp"
 
 namespace pkifmm::core {
@@ -58,10 +59,21 @@ class ParallelFmm {
   const octree::Let& let() const { return *let_; }
   const Tables& tables() const { return tables_; }
 
+  /// Cross-rank summary document ("pkifmm.summary.v1", see
+  /// obs/aggregate.hpp). At the end of every evaluate() each rank
+  /// snapshots its flat metric table, the snapshots are allgathered
+  /// over the communicator (phase "obs.gather" — the gather's own
+  /// traffic is excluded from the summary it produces), and every rank
+  /// aggregates them, so all ranks hold the identical document — the
+  /// MPI-style pattern where any rank can write summary.json. Null
+  /// before the first evaluate().
+  const obs::Json& summary() const { return summary_; }
+
  private:
   comm::RankCtx& ctx_;
   const Tables& tables_;
   std::unique_ptr<octree::Let> let_;
+  obs::Json summary_;
   bool densities_dirty_ = false;
 };
 

@@ -1,0 +1,391 @@
+#include "obs/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace pkifmm::obs {
+
+namespace {
+
+// ------------------------------------------------------------ helpers
+
+Json stats_json(const Accumulator& a) {
+  Summary s;
+  s.count = a.count();
+  if (a.count() > 0) {
+    s.min = a.min();
+    s.max = a.max();
+    s.avg = a.mean();
+    s.stddev = a.stddev();
+  }
+  Json out = Json::object();
+  out.set("min", s.min);
+  out.set("max", s.max);
+  out.set("avg", s.avg);
+  out.set("stddev", s.stddev);
+  out.set("sum", s.avg * static_cast<double>(s.count));
+  out.set("count", static_cast<std::int64_t>(s.count));
+  out.set("imbalance", s.imbalance());
+  return out;
+}
+
+double counter_of(const RankMetrics& rm, const std::string& name) {
+  auto it = rm.counters.find(name);
+  return it == rm.counters.end() ? 0.0 : it->second;
+}
+
+/// Parses "commx.<phase>.dst<k>.msgs|bytes"; returns false for
+/// anything else.
+bool parse_commx(const std::string& name, std::string& phase, int& dst,
+                 bool& is_msgs) {
+  if (!name.starts_with("commx.")) return false;
+  std::string rest = name.substr(6);
+  if (rest.ends_with(".msgs")) {
+    is_msgs = true;
+    rest.resize(rest.size() - 5);
+  } else if (rest.ends_with(".bytes")) {
+    is_msgs = false;
+    rest.resize(rest.size() - 6);
+  } else {
+    return false;
+  }
+  const std::size_t pos = rest.rfind(".dst");
+  if (pos == std::string::npos) return false;
+  phase = rest.substr(0, pos);
+  const std::string num = rest.substr(pos + 4);
+  if (num.empty()) return false;
+  dst = 0;
+  for (char c : num) {
+    if (c < '0' || c > '9') return false;
+    dst = dst * 10 + (c - '0');
+  }
+  return true;
+}
+
+/// Per-phase cross-run aggregation state.
+struct PhaseAgg {
+  Accumulator wall, cpu, flops, msgs, bytes;
+  double busy = 0.0;      ///< Σ span wall over ranks and runs
+  double makespan = 0.0;  ///< Σ per-run cross-rank makespan
+  bool has_span = false;
+};
+
+/// Dense per-phase traffic matrices, grown to the largest rank count.
+struct MatrixAgg {
+  std::vector<std::vector<double>> msgs, bytes;
+
+  void ensure(std::size_t n) {
+    const std::size_t old = msgs.size();
+    const std::size_t next = std::max(old, n);
+    msgs.resize(next);
+    bytes.resize(next);
+    for (auto& row : msgs) row.resize(next, 0.0);
+    for (auto& row : bytes) row.resize(next, 0.0);
+  }
+};
+
+Json matrix_json(const std::vector<std::vector<double>>& m) {
+  Json rows = Json::array();
+  for (const auto& row : m) {
+    Json jr = Json::array();
+    for (double v : row) jr.push_back(Json(v));
+    rows.push_back(std::move(jr));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Json summarize_metrics(const std::vector<RankMetrics>& ranks) {
+  return summarize_runs("", {ranks});
+}
+
+Json summarize_runs(const std::string& bench,
+                    const std::vector<std::vector<RankMetrics>>& runs) {
+  std::map<std::string, Accumulator> metric_aggs;
+  std::map<std::string, PhaseAgg> phase_aggs;
+  std::map<std::string, MatrixAgg> matrices;
+  std::size_t nranks = 0;
+
+  for (const std::vector<RankMetrics>& ranks : runs) {
+    nranks = std::max(nranks, ranks.size());
+
+    // ---- flat metric stats: union of counter names, missing -> 0 ----
+    std::set<std::string> names;
+    for (const RankMetrics& rm : ranks)
+      for (const auto& [name, v] : rm.counters) names.insert(name);
+    for (const std::string& name : names) {
+      if (name.starts_with("commx.")) continue;  // matrix carries these
+      Accumulator acc;
+      for (const RankMetrics& rm : ranks) acc.add(counter_of(rm, name));
+      metric_aggs[name].merge(acc);
+    }
+
+    // ---- phase discovery: canonical counters plus span names --------
+    std::set<std::string> phases;
+    std::set<std::string> counter_phases;
+    for (const std::string& name : names) {
+      if (name.starts_with("time.") && name.ends_with(".wall")) {
+        counter_phases.insert(name.substr(5, name.size() - 10));
+      } else if (name.starts_with("flops.")) {
+        counter_phases.insert(name.substr(6));
+      } else if (name.starts_with("comm.")) {
+        const std::size_t dot = name.rfind('.');
+        if (dot > 5) counter_phases.insert(name.substr(5, dot - 5));
+      }
+    }
+    phases = counter_phases;
+    for (const RankMetrics& rm : ranks)
+      for (const SpanEvent& e : rm.spans) phases.insert(e.name);
+
+    for (const std::string& phase : phases) {
+      PhaseAgg& agg = phase_aggs[phase];
+      const bool from_counters = counter_phases.count(phase) > 0;
+      Accumulator wall, cpu, flops, msgs, bytes;
+      double t0 = std::numeric_limits<double>::infinity();
+      double t1 = -std::numeric_limits<double>::infinity();
+      double busy = 0.0;
+      bool any_span = false;
+
+      for (const RankMetrics& rm : ranks) {
+        double s_wall = 0.0, s_cpu = 0.0, s_flops = 0.0, s_msgs = 0.0,
+               s_bytes = 0.0;
+        auto eit = rm.gauges.find("obs.epoch");
+        const double epoch = eit == rm.gauges.end() ? 0.0 : eit->second;
+        for (const SpanEvent& e : rm.spans) {
+          if (e.name != phase) continue;
+          any_span = true;
+          s_wall += e.wall;
+          s_cpu += e.cpu;
+          s_flops += static_cast<double>(e.flops);
+          s_msgs += static_cast<double>(e.msgs);
+          s_bytes += static_cast<double>(e.bytes);
+          t0 = std::min(t0, epoch + e.start);
+          t1 = std::max(t1, epoch + e.start + e.wall);
+        }
+        busy += s_wall;
+        if (from_counters) {
+          wall.add(counter_of(rm, "time." + phase + ".wall"));
+          cpu.add(counter_of(rm, "time." + phase + ".cpu"));
+          flops.add(counter_of(rm, "flops." + phase));
+          msgs.add(counter_of(rm, "comm." + phase + ".msgs_sent"));
+          bytes.add(counter_of(rm, "comm." + phase + ".bytes_sent"));
+        } else {
+          wall.add(s_wall);
+          cpu.add(s_cpu);
+          flops.add(s_flops);
+          msgs.add(s_msgs);
+          bytes.add(s_bytes);
+        }
+      }
+      agg.wall.merge(wall);
+      agg.cpu.merge(cpu);
+      agg.flops.merge(flops);
+      agg.msgs.merge(msgs);
+      agg.bytes.merge(bytes);
+      if (any_span) {
+        agg.has_span = true;
+        agg.busy += busy;
+        agg.makespan += t1 - t0;
+      }
+    }
+
+    // ---- per-phase traffic matrices ---------------------------------
+    for (const RankMetrics& rm : ranks) {
+      for (const auto& [name, v] : rm.counters) {
+        std::string phase;
+        int dst = 0;
+        bool is_msgs = false;
+        if (!parse_commx(name, phase, dst, is_msgs)) continue;
+        PKIFMM_CHECK_MSG(rm.rank >= 0 &&
+                             rm.rank < static_cast<int>(ranks.size()) &&
+                             dst >= 0 && dst < static_cast<int>(ranks.size()),
+                         "commx counter '" << name << "' out of rank range");
+        MatrixAgg& mat = matrices[phase];
+        mat.ensure(ranks.size());
+        auto& cell = is_msgs ? mat.msgs[static_cast<std::size_t>(rm.rank)]
+                             : mat.bytes[static_cast<std::size_t>(rm.rank)];
+        cell[static_cast<std::size_t>(dst)] += v;
+      }
+    }
+  }
+
+  // ---- document assembly --------------------------------------------
+  Json doc = Json::object();
+  doc.set("schema", kSummarySchema);
+  doc.set("nranks", static_cast<std::int64_t>(nranks));
+  doc.set("nruns", static_cast<std::int64_t>(runs.size()));
+  doc.set("bench", bench);
+
+  Json metrics = Json::object();
+  for (const auto& [name, acc] : metric_aggs) metrics.set(name, stats_json(acc));
+  doc.set("metrics", std::move(metrics));
+
+  Json phases = Json::object();
+  for (const auto& [name, agg] : phase_aggs) {
+    Json ph = Json::object();
+    ph.set("wall", stats_json(agg.wall));
+    ph.set("cpu", stats_json(agg.cpu));
+    ph.set("flops", stats_json(agg.flops));
+    ph.set("msgs_sent", stats_json(agg.msgs));
+    ph.set("bytes_sent", stats_json(agg.bytes));
+    ph.set("critical_path", agg.makespan);
+    const double window = static_cast<double>(nranks) * agg.makespan;
+    ph.set("overlap_efficiency",
+           agg.has_span && window > 0.0 ? agg.busy / window : 1.0);
+    phases.set(name, std::move(ph));
+  }
+  doc.set("phases", std::move(phases));
+
+  Json comm_matrix = Json::object();
+  for (auto& [phase, mat] : matrices) {
+    mat.ensure(nranks);  // pad to the final rank count
+    Json jm = Json::object();
+    jm.set("msgs", matrix_json(mat.msgs));
+    jm.set("bytes", matrix_json(mat.bytes));
+    comm_matrix.set(phase, std::move(jm));
+  }
+  doc.set("comm_matrix", std::move(comm_matrix));
+  return doc;
+}
+
+void validate_summary_json(const Json& doc) {
+  PKIFMM_CHECK_MSG(doc.type() == Json::Type::kObject,
+                   "summary document must be a JSON object");
+  PKIFMM_CHECK_MSG(doc.contains("schema") &&
+                       doc.at("schema").as_string() == kSummarySchema,
+                   "unknown summary schema");
+  for (const char* field : {"nranks", "nruns", "bench", "metrics", "phases",
+                            "comm_matrix"})
+    PKIFMM_CHECK_MSG(doc.contains(field),
+                     "summary missing '" << field << "'");
+  const std::int64_t nranks = doc.at("nranks").as_int();
+  PKIFMM_CHECK_MSG(nranks >= 0, "negative nranks");
+
+  const Json& metrics = doc.at("metrics");
+  PKIFMM_CHECK(metrics.type() == Json::Type::kObject);
+  for (const std::string& name : metrics.keys())
+    for (const char* field :
+         {"min", "max", "avg", "stddev", "sum", "count", "imbalance"})
+      PKIFMM_CHECK_MSG(metrics.at(name).contains(field),
+                       "metric '" << name << "' missing '" << field << "'");
+
+  const Json& phases = doc.at("phases");
+  PKIFMM_CHECK(phases.type() == Json::Type::kObject);
+  for (const std::string& name : phases.keys()) {
+    const Json& ph = phases.at(name);
+    for (const char* field : {"wall", "cpu", "flops", "msgs_sent",
+                              "bytes_sent"})
+      PKIFMM_CHECK_MSG(ph.contains(field) && ph.at(field).contains("sum"),
+                       "phase '" << name << "' missing stats '" << field
+                                 << "'");
+    for (const char* field : {"critical_path", "overlap_efficiency"})
+      PKIFMM_CHECK_MSG(ph.contains(field) && ph.at(field).is_number(),
+                       "phase '" << name << "' missing '" << field << "'");
+  }
+
+  const Json& mats = doc.at("comm_matrix");
+  PKIFMM_CHECK(mats.type() == Json::Type::kObject);
+  for (const std::string& phase : mats.keys()) {
+    const Json& jm = mats.at(phase);
+    for (const char* field : {"msgs", "bytes"}) {
+      PKIFMM_CHECK_MSG(jm.contains(field),
+                       "comm_matrix '" << phase << "' missing '" << field
+                                       << "'");
+      const Json& rows = jm.at(field);
+      PKIFMM_CHECK_MSG(
+          static_cast<std::int64_t>(rows.size()) == nranks,
+          "comm_matrix '" << phase << "." << field << "' is not " << nranks
+                          << " rows");
+      for (const Json& row : rows.items())
+        PKIFMM_CHECK_MSG(static_cast<std::int64_t>(row.size()) == nranks,
+                         "comm_matrix '" << phase << "." << field
+                                         << "' row is not " << nranks
+                                         << " wide");
+    }
+  }
+}
+
+void write_summary_json(const std::string& path, const Json& summary) {
+  validate_summary_json(summary);
+  write_json_file(path, summary);
+}
+
+Json compare_summaries(const Json& fresh, const Json& baseline,
+                       const GateOptions& opt) {
+  validate_summary_json(fresh);
+  validate_summary_json(baseline);
+  PKIFMM_CHECK_MSG(fresh.at("nranks").as_int() ==
+                       baseline.at("nranks").as_int(),
+                   "summaries ran at different rank counts ("
+                       << fresh.at("nranks").as_int() << " vs "
+                       << baseline.at("nranks").as_int()
+                       << "); not comparable");
+
+  Json violations = Json::array();
+  std::int64_t checked = 0;
+
+  const Json& bphases = baseline.at("phases");
+  const Json& fphases = fresh.at("phases");
+  for (const std::string& phase : bphases.keys()) {
+    if (!fphases.contains(phase)) {
+      Json v = Json::object();
+      v.set("phase", phase);
+      v.set("metric", "missing");
+      v.set("baseline", bphases.at(phase).at("wall").at("sum").as_double());
+      v.set("fresh", 0.0);
+      v.set("ratio", 0.0);
+      v.set("limit", 0.0);
+      violations.push_back(std::move(v));
+      continue;
+    }
+    const Json& bp = bphases.at(phase);
+    const Json& fp = fphases.at(phase);
+
+    struct Check {
+      const char* metric;
+      double limit;
+      double floor;
+    };
+    const Check checks[] = {
+        {"wall", opt.time_ratio, opt.min_seconds},
+        {"cpu", opt.time_ratio, opt.min_seconds},
+        {"flops", opt.work_ratio, opt.min_flops},
+        {"msgs_sent", opt.work_ratio, opt.min_msgs},
+        {"bytes_sent", opt.work_ratio, opt.min_bytes},
+    };
+    for (const Check& c : checks) {
+      const double base = bp.at(c.metric).at("sum").as_double();
+      const double now = fp.at(c.metric).at("sum").as_double();
+      // Machine-tolerance envelope: tiny phases are all noise. A fresh
+      // value below the floor passes outright; the baseline is clamped
+      // to the floor so growth from ~0 is still caught.
+      if (now < c.floor) continue;
+      ++checked;
+      const double ratio = now / std::max(base, c.floor);
+      if (ratio > c.limit) {
+        Json v = Json::object();
+        v.set("phase", phase);
+        v.set("metric", c.metric);
+        v.set("baseline", base);
+        v.set("fresh", now);
+        v.set("ratio", ratio);
+        v.set("limit", c.limit);
+        violations.push_back(std::move(v));
+      }
+    }
+  }
+
+  Json report = Json::object();
+  report.set("ok", violations.size() == 0);
+  report.set("checked", checked);
+  report.set("violations", std::move(violations));
+  return report;
+}
+
+}  // namespace pkifmm::obs

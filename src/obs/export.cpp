@@ -168,12 +168,29 @@ void validate_metrics_json(const Json& doc) {
 Json chrome_trace_json(const std::vector<RankMetrics>& ranks) {
   Json events = Json::array();
   for (const RankMetrics& rm : ranks) {
-    // Thread name metadata so trace viewers label rows "rank N".
+    // One *process* per rank (pid = rank): per-rank trace files can be
+    // concatenated and still render as separate labeled rows of one
+    // timeline in chrome://tracing / Perfetto, which key everything by
+    // (pid, tid). The rank's recorder epoch (published as the
+    // "obs.epoch" gauge) shifts span starts onto the shared process
+    // clock so rows from different ranks align.
+    auto eit = rm.gauges.find("obs.epoch");
+    const double epoch = eit == rm.gauges.end() ? 0.0 : eit->second;
+    Json pmeta = Json::object();
+    pmeta.set("name", "process_name");
+    pmeta.set("ph", "M");
+    pmeta.set("pid", static_cast<std::int64_t>(rm.rank));
+    pmeta.set("tid", std::int64_t{0});
+    Json pargs = Json::object();
+    pargs.set("name", "rank " + std::to_string(rm.rank));
+    pmeta.set("args", std::move(pargs));
+    events.push_back(std::move(pmeta));
+
     Json meta = Json::object();
     meta.set("name", "thread_name");
     meta.set("ph", "M");
-    meta.set("pid", std::int64_t{0});
-    meta.set("tid", static_cast<std::int64_t>(rm.rank));
+    meta.set("pid", static_cast<std::int64_t>(rm.rank));
+    meta.set("tid", std::int64_t{0});
     Json margs = Json::object();
     margs.set("name", "rank " + std::to_string(rm.rank));
     meta.set("args", std::move(margs));
@@ -183,9 +200,9 @@ Json chrome_trace_json(const std::vector<RankMetrics>& ranks) {
       Json ev = Json::object();
       ev.set("name", e.name);
       ev.set("ph", "X");
-      ev.set("pid", std::int64_t{0});
-      ev.set("tid", static_cast<std::int64_t>(rm.rank));
-      ev.set("ts", e.start * 1e6);        // microseconds
+      ev.set("pid", static_cast<std::int64_t>(rm.rank));
+      ev.set("tid", std::int64_t{0});
+      ev.set("ts", (epoch + e.start) * 1e6);  // microseconds
       ev.set("dur", e.wall * 1e6);
       Json args = Json::object();
       args.set("cpu_s", e.cpu);

@@ -26,11 +26,21 @@
 ///   flops.<phase>                            analytic flops (FlopCounter)
 ///   comm.<phase>.msgs_sent / .bytes_sent     per-phase sends (CostTracker)
 ///   comm.<phase>.msgs_recv / .bytes_recv
+///   commx.<phase>.dst<k>.msgs / .bytes       sends to rank k in <phase>
+///                                            (sparse; obs::summarize_metrics
+///                                            assembles the dense matrix)
 ///   coll.<collective>.calls / .rounds / .msgs / .bytes
+/// and the gauge
+///   obs.epoch                                recorder epoch on the process
+///                                            wall clock (aligns per-rank
+///                                            span timelines)
 ///
 /// The Chrome trace export ("trace_event" JSON-array format, load via
-/// chrome://tracing or Perfetto) maps rank -> tid and emits one
+/// chrome://tracing or Perfetto) maps rank -> pid (with process_name /
+/// thread_name metadata events naming each row "rank N") and emits one
 /// complete ("ph":"X") event per span with flops/msgs/bytes in args.
+/// Because the pid carries the rank, per-rank trace files written by
+/// separate processes concatenate into one merged timeline.
 
 #include <string>
 #include <vector>

@@ -116,6 +116,12 @@ class Recorder {
 
   int rank() const { return metrics_.rank; }
 
+  /// Wall-clock offset (process epoch -> this recorder's span epoch).
+  /// Span starts are relative to this; cross-rank aggregation adds it
+  /// back (published as the "obs.epoch" gauge) so spans from recorders
+  /// created at different times align on one absolute timeline.
+  double epoch() const { return epoch_; }
+
   // --- metrics -----------------------------------------------------
   void counter_add(const std::string& name, double v = 1.0) {
     metrics_.counters[name] += v;

@@ -38,8 +38,17 @@ struct Summary {
     return s;
   }
 
-  /// Load imbalance ratio: max/avg (1.0 = perfectly balanced).
-  double imbalance() const { return avg > 0.0 ? max / avg : 1.0; }
+  /// Load imbalance ratio: max/avg (1.0 = perfectly balanced). Defined
+  /// only when the mean is finite and nonzero; for an empty set, an
+  /// all-zero metric, or a degenerate (inf/nan) mean the ratio carries
+  /// no information and 1.0 ("balanced") is reported instead of a
+  /// misleading quotient. Samples may be signed: a negative mean yields
+  /// max/avg as-is (callers aggregating signed gauges get the raw
+  /// ratio, not a silently clamped one).
+  double imbalance() const {
+    if (count == 0 || avg == 0.0 || !std::isfinite(avg)) return 1.0;
+    return max / avg;
+  }
 };
 
 /// Online mean/variance accumulator (Welford).
@@ -52,6 +61,28 @@ class Accumulator {
     m2_ += d * (x - mean_);
     min_ = n_ == 1 ? x : std::min(min_, x);
     max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  /// Combines another accumulator into this one (Chan et al.'s
+  /// parallel Welford update): the result is identical — up to
+  /// floating-point reassociation — to having add()ed both sample
+  /// streams into a single accumulator. This is what cross-rank
+  /// aggregation uses to fold per-rank (or per-run) accumulators into
+  /// one summary without revisiting the samples.
+  void merge(const Accumulator& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double d = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    mean_ += d * nb / (na + nb);
+    m2_ += other.m2_ + d * d * na * nb / (na + nb);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
   }
 
   std::size_t count() const { return n_; }

@@ -5,12 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <set>
 
 #include "comm/comm.hpp"
 #include "core/fmm.hpp"
 #include "kernels/kernel.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -258,26 +260,63 @@ TEST(Export, ChromeTraceShape) {
   const auto ranks = sample_ranks();
   const Json doc = chrome_trace_json(ranks);
   const auto& events = doc.at("traceEvents").items();
-  // 2 ranks x (1 thread_name metadata + 3 spans).
-  ASSERT_EQ(events.size(), 8u);
-  std::size_t meta = 0, complete = 0;
+  // Merged-timeline scheme: one *process* per rank, so 2 ranks x
+  // (process_name + thread_name metadata + 3 spans).
+  ASSERT_EQ(events.size(), 10u);
+  std::size_t process_meta = 0, thread_meta = 0, complete = 0;
   for (const Json& ev : events) {
     const std::string ph = ev.at("ph").as_string();
+    const std::int64_t pid = ev.at("pid").as_int();
+    // pid IS the rank; everything lives on that rank's single thread.
+    EXPECT_TRUE(pid == 0 || pid == 1);
+    EXPECT_EQ(ev.at("tid").as_int(), 0);
     if (ph == "M") {
-      ++meta;
-      EXPECT_EQ(ev.at("name").as_string(), "thread_name");
+      const std::string name = ev.at("name").as_string();
+      if (name == "process_name") {
+        ++process_meta;
+        EXPECT_EQ(ev.at("args").at("name").as_string(),
+                  "rank " + std::to_string(pid));
+      } else {
+        EXPECT_EQ(name, "thread_name");
+        ++thread_meta;
+      }
       continue;
     }
     ASSERT_EQ(ph, "X");
     ++complete;
     EXPECT_GE(ev.at("dur").as_double(), 0.0);
     EXPECT_GE(ev.at("ts").as_double(), 0.0);
-    const std::int64_t tid = ev.at("tid").as_int();
-    EXPECT_TRUE(tid == 0 || tid == 1);
     EXPECT_TRUE(ev.at("args").contains("flops"));
   }
-  EXPECT_EQ(meta, 2u);
+  EXPECT_EQ(process_meta, 2u);
+  EXPECT_EQ(thread_meta, 2u);
   EXPECT_EQ(complete, 6u);
+}
+
+/// With the "obs.epoch" gauge set, span timestamps move onto the
+/// process-wide clock: two ranks whose recorders started at different
+/// epochs must come out time-aligned in the merged trace.
+TEST(Export, ChromeTraceAlignsRankEpochs) {
+  std::vector<RankMetrics> ranks;
+  for (int r = 0; r < 2; ++r) {
+    RankMetrics rm;
+    rm.rank = r;
+    rm.gauges["obs.epoch"] = 100.0 + 50.0 * r;  // rank 1 started later
+    SpanEvent e;
+    e.name = "eval";
+    e.start = 2.0;  // same recorder-relative start on both ranks
+    e.wall = 1.0;
+    rm.spans.push_back(e);
+    ranks.push_back(std::move(rm));
+  }
+  const Json doc = chrome_trace_json(ranks);
+  std::map<std::int64_t, double> ts_by_pid;
+  for (const Json& ev : doc.at("traceEvents").items())
+    if (ev.at("ph").as_string() == "X")
+      ts_by_pid[ev.at("pid").as_int()] = ev.at("ts").as_double();
+  ASSERT_EQ(ts_by_pid.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts_by_pid[0], (100.0 + 2.0) * 1e6);
+  EXPECT_DOUBLE_EQ(ts_by_pid[1], (150.0 + 2.0) * 1e6);
 }
 
 // -------------------------------------- PhaseTimer single measurement
@@ -325,6 +364,283 @@ TEST(PhaseTimer, UnboundFallbackStillAccumulates) {
   }
   EXPECT_GT(timer.phases().at("phase.a"), 0.0);
   EXPECT_GE(timer.cpu_phases().at("phase.a"), 0.0);
+}
+
+// --------------------------------------------- Cross-rank aggregation
+
+/// Synthetic rank with the canonical counters of one phase, scaled.
+RankMetrics synth_rank(int rank, double scale) {
+  RankMetrics rm;
+  rm.rank = rank;
+  rm.counters["time.eval.uli.wall"] = 1.0 * scale;
+  rm.counters["time.eval.uli.cpu"] = 0.5 * scale;
+  rm.counters["flops.eval.uli"] = 1.0e5 * scale;
+  rm.counters["comm.eval.uli.msgs_sent"] = 50.0 * scale;
+  rm.counters["comm.eval.uli.bytes_sent"] = 5.0e4 * scale;
+  return rm;
+}
+
+TEST(Aggregate, SummaryStatsMatchHandComputedValues) {
+  // rank 0 all-ones scale, rank 1 three times the work.
+  const Json doc = summarize_metrics({synth_rank(0, 1.0), synth_rank(1, 3.0)});
+  validate_summary_json(doc);
+  EXPECT_EQ(doc.at("schema").as_string(), kSummarySchema);
+  EXPECT_EQ(doc.at("nranks").as_int(), 2);
+  EXPECT_EQ(doc.at("nruns").as_int(), 1);
+
+  // Flat metric stats: wall samples are {1, 3}.
+  const Json& wall = doc.at("metrics").at("time.eval.uli.wall");
+  EXPECT_DOUBLE_EQ(wall.at("min").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(wall.at("max").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(wall.at("avg").as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(wall.at("stddev").as_double(), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(wall.at("sum").as_double(), 4.0);
+  EXPECT_EQ(wall.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(wall.at("imbalance").as_double(), 1.5);
+
+  // Per-phase breakdown agrees with the counters feeding it.
+  const Json& ph = doc.at("phases").at("eval.uli");
+  EXPECT_DOUBLE_EQ(ph.at("wall").at("max").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(ph.at("flops").at("sum").as_double(), 4.0e5);
+  EXPECT_DOUBLE_EQ(ph.at("msgs_sent").at("sum").as_double(), 200.0);
+  EXPECT_DOUBLE_EQ(ph.at("bytes_sent").at("sum").as_double(), 2.0e5);
+  EXPECT_DOUBLE_EQ(ph.at("wall").at("imbalance").as_double(), 1.5);
+}
+
+TEST(Aggregate, RankMissingACounterContributesZero) {
+  RankMetrics a = synth_rank(0, 1.0);
+  RankMetrics b = synth_rank(1, 1.0);
+  b.counters["flops.eval.wli"] = 10.0;  // only rank 1 entered this phase
+  const Json doc = summarize_metrics({a, b});
+  const Json& m = doc.at("metrics").at("flops.eval.wli");
+  EXPECT_DOUBLE_EQ(m.at("min").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(m.at("max").as_double(), 10.0);
+  EXPECT_DOUBLE_EQ(m.at("avg").as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(m.at("imbalance").as_double(), 2.0);
+  EXPECT_EQ(m.at("count").as_int(), 2);
+}
+
+TEST(Aggregate, SpanFallbackGivesPhaseTotalsAndOverlap) {
+  // Trace-only phase (no canonical counters): rank 1's recorder was
+  // created 1 s after rank 0's, both spend 2 s in "eval" starting at
+  // their local zero. Absolute window is [10, 13] -> makespan 3,
+  // busy 4, overlap 4 / (2 * 3).
+  std::vector<RankMetrics> ranks;
+  for (int r = 0; r < 2; ++r) {
+    RankMetrics rm;
+    rm.rank = r;
+    rm.gauges["obs.epoch"] = 10.0 + 1.0 * r;
+    SpanEvent e;
+    e.name = "eval";
+    e.start = 0.0;
+    e.wall = 2.0;
+    e.cpu = 1.5;
+    rm.spans.push_back(e);
+    ranks.push_back(std::move(rm));
+  }
+  const Json doc = summarize_metrics(ranks);
+  const Json& ph = doc.at("phases").at("eval");
+  EXPECT_DOUBLE_EQ(ph.at("wall").at("avg").as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(ph.at("cpu").at("sum").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(ph.at("critical_path").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(ph.at("overlap_efficiency").as_double(), 4.0 / 6.0);
+}
+
+TEST(Aggregate, MultiRunMergeAccumulates) {
+  std::vector<RankMetrics> run1 = {synth_rank(0, 1.0), synth_rank(1, 3.0)};
+  std::vector<RankMetrics> run2 = {synth_rank(0, 2.0), synth_rank(1, 4.0)};
+  run1[0].counters["commx.eval.uli.dst1.msgs"] = 5.0;
+  run2[0].counters["commx.eval.uli.dst1.msgs"] = 7.0;
+  const Json doc = summarize_runs("bench_x", {run1, run2});
+  validate_summary_json(doc);
+  EXPECT_EQ(doc.at("nruns").as_int(), 2);
+  EXPECT_EQ(doc.at("bench").as_string(), "bench_x");
+
+  // Welford-merged across runs: wall samples {1, 3, 2, 4}.
+  const Json& wall = doc.at("metrics").at("time.eval.uli.wall");
+  EXPECT_EQ(wall.at("count").as_int(), 4);
+  EXPECT_DOUBLE_EQ(wall.at("min").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(wall.at("max").as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(wall.at("avg").as_double(), 2.5);
+  EXPECT_NEAR(wall.at("sum").as_double(), 10.0, 1e-12);
+
+  // Traffic matrices sum across runs.
+  const Json& mat = doc.at("comm_matrix").at("eval.uli").at("msgs");
+  EXPECT_DOUBLE_EQ(mat.items()[0].items()[1].as_double(), 12.0);
+  EXPECT_DOUBLE_EQ(mat.items()[1].items()[0].as_double(), 0.0);
+}
+
+TEST(Aggregate, ValidatorRejectsBrokenSummary) {
+  Json doc = summarize_metrics({synth_rank(0, 1.0)});
+  doc.set("schema", "not.a.schema");
+  EXPECT_THROW(validate_summary_json(doc), CheckFailure);
+  EXPECT_THROW(validate_summary_json(Json::parse("{}")), CheckFailure);
+
+  // commx traffic must stay inside the rank range.
+  RankMetrics bad = synth_rank(0, 1.0);
+  bad.counters["commx.eval.uli.dst7.msgs"] = 1.0;  // only 1 rank exists
+  EXPECT_THROW(summarize_metrics({bad}), CheckFailure);
+}
+
+/// Multi-rank end-to-end: a deterministic exchange (ring send-right
+/// plus an XOR pairing, distinct phases) whose summary stats and
+/// comm-matrix entries are hand-computable, and whose matrix marginals
+/// must equal the tagged comm.* counters of every rank.
+TEST(Aggregate, CommMatrixMarginalsMatchCounters) {
+  constexpr int kP = 4;
+  auto reports = comm::Runtime::run(kP, [&](comm::RankCtx& ctx) {
+    const int r = ctx.rank();
+    // Phase 1: ring. Rank r sends 100*(r+1) bytes to its right peer.
+    ctx.comm.cost().set_phase("x.ring");
+    std::vector<char> ring(static_cast<std::size_t>(100 * (r + 1)), 'a');
+    ctx.comm.send<char>((r + 1) % kP, 7, ring);
+    (void)ctx.comm.recv<char>((r - 1 + kP) % kP, 7);
+    // Phase 2: XOR pairing, fixed 64-byte payload.
+    ctx.comm.cost().set_phase("x.pair");
+    std::vector<char> pair(64, 'b');
+    ctx.comm.send<char>(r ^ 1, 8, pair);
+    (void)ctx.comm.recv<char>(r ^ 1, 8);
+  });
+
+  std::vector<RankMetrics> ranks;
+  for (const auto& rep : reports) ranks.push_back(rep.obs);
+  const Json doc = summarize_metrics(ranks);
+  validate_summary_json(doc);
+
+  // Hand-computed stats: per-rank ring bytes are {100, 200, 300, 400}.
+  const Json& sent = doc.at("metrics").at("comm.x.ring.bytes_sent");
+  EXPECT_DOUBLE_EQ(sent.at("min").as_double(), 100.0);
+  EXPECT_DOUBLE_EQ(sent.at("max").as_double(), 400.0);
+  EXPECT_DOUBLE_EQ(sent.at("avg").as_double(), 250.0);
+  EXPECT_DOUBLE_EQ(sent.at("imbalance").as_double(), 1.6);
+  EXPECT_NEAR(sent.at("stddev").as_double(), std::sqrt(50000.0 / 3.0), 1e-9);
+
+  // Hand-computed matrix cells; diagonals stay empty.
+  const Json& ring = doc.at("comm_matrix").at("x.ring");
+  const Json& pair = doc.at("comm_matrix").at("x.pair");
+  for (int r = 0; r < kP; ++r) {
+    const auto& ring_msgs = ring.at("msgs").items()[r].items();
+    const auto& ring_bytes = ring.at("bytes").items()[r].items();
+    const auto& pair_bytes = pair.at("bytes").items()[r].items();
+    for (int c = 0; c < kP; ++c) {
+      EXPECT_DOUBLE_EQ(ring_msgs[c].as_double(), c == (r + 1) % kP ? 1.0 : 0.0)
+          << r << "->" << c;
+      EXPECT_DOUBLE_EQ(ring_bytes[c].as_double(),
+                       c == (r + 1) % kP ? 100.0 * (r + 1) : 0.0)
+          << r << "->" << c;
+      EXPECT_DOUBLE_EQ(pair_bytes[c].as_double(), c == (r ^ 1) ? 64.0 : 0.0)
+          << r << "->" << c;
+    }
+  }
+
+  // Marginals: row sums equal each rank's send counters, column sums
+  // equal each rank's recv counters, for both phases and both units.
+  for (const char* phase : {"x.ring", "x.pair"}) {
+    const Json& mat = doc.at("comm_matrix").at(phase);
+    for (const char* unit : {"msgs", "bytes"}) {
+      const auto& rows = mat.at(unit).items();
+      for (int r = 0; r < kP; ++r) {
+        double row_sum = 0.0, col_sum = 0.0;
+        for (int k = 0; k < kP; ++k) {
+          row_sum += rows[r].items()[k].as_double();
+          col_sum += rows[k].items()[r].as_double();
+        }
+        const auto& c = reports[r].obs.counters;
+        const std::string base = std::string("comm.") + phase + ".";
+        EXPECT_DOUBLE_EQ(row_sum,
+                         c.at(base + unit + "_sent"))
+            << phase << " " << unit << " row " << r;
+        EXPECT_DOUBLE_EQ(col_sum,
+                         c.at(base + unit + "_recv"))
+            << phase << " " << unit << " col " << r;
+      }
+    }
+  }
+}
+
+TEST(Aggregate, GatherMetricsDeliversEveryRankSnapshot) {
+  constexpr int kP = 3;
+  std::vector<std::vector<RankMetrics>> gathered(kP);
+  comm::Runtime::run(kP, [&](comm::RankCtx& ctx) {
+    ctx.rec.counter_add("test.marker", 10.0 + ctx.rank());
+    gathered[static_cast<std::size_t>(ctx.rank())] =
+        gather_metrics(ctx.comm, comm::snapshot_with_counters(ctx));
+  });
+  for (int r = 0; r < kP; ++r) {
+    const auto& mine = gathered[static_cast<std::size_t>(r)];
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(kP));
+    for (int k = 0; k < kP; ++k) {
+      EXPECT_EQ(mine[static_cast<std::size_t>(k)].rank, k);
+      EXPECT_DOUBLE_EQ(
+          mine[static_cast<std::size_t>(k)].counters.at("test.marker"),
+          10.0 + k);
+    }
+  }
+}
+
+// ------------------------------------------------- Regression gate
+
+TEST(Gate, IdenticalSummariesPass) {
+  const Json base = summarize_metrics({synth_rank(0, 1.0), synth_rank(1, 1.0)});
+  const Json report = compare_summaries(base, base);
+  EXPECT_TRUE(report.at("ok").as_bool());
+  EXPECT_GT(report.at("checked").as_int(), 0);
+  EXPECT_EQ(report.at("violations").size(), 0u);
+}
+
+TEST(Gate, InflatedSummaryFails) {
+  const Json base = summarize_metrics({synth_rank(0, 1.0), synth_rank(1, 1.0)});
+  // Everything doubled: wall/cpu blow the 1.6x time bound, flops/msgs/
+  // bytes blow the 1.25x work bound -> all five checks violated.
+  const Json slow = summarize_metrics({synth_rank(0, 2.0), synth_rank(1, 2.0)});
+  const Json report = compare_summaries(slow, base);
+  EXPECT_FALSE(report.at("ok").as_bool());
+  const auto& violations = report.at("violations").items();
+  ASSERT_EQ(violations.size(), 5u);
+  std::set<std::string> metrics;
+  for (const Json& v : violations) {
+    EXPECT_EQ(v.at("phase").as_string(), "eval.uli");
+    EXPECT_DOUBLE_EQ(v.at("ratio").as_double(), 2.0);
+    metrics.insert(v.at("metric").as_string());
+  }
+  EXPECT_EQ(metrics, (std::set<std::string>{"wall", "cpu", "flops",
+                                            "msgs_sent", "bytes_sent"}));
+}
+
+TEST(Gate, PhasesBelowTheFloorAreSkipped) {
+  // All values far below the absolute floors: a 10x blowup of pure
+  // noise must not trip the gate (machine-tolerance envelope).
+  RankMetrics tiny;
+  tiny.rank = 0;
+  tiny.counters["time.eval.grad.wall"] = 1e-6;
+  tiny.counters["flops.eval.grad"] = 100.0;
+  tiny.counters["comm.eval.grad.msgs_sent"] = 1.0;
+  tiny.counters["comm.eval.grad.bytes_sent"] = 32.0;
+  RankMetrics tiny10 = tiny;
+  for (auto& [name, v] : tiny10.counters) v *= 10.0;
+  const Json report = compare_summaries(summarize_metrics({tiny10}),
+                                        summarize_metrics({tiny}));
+  EXPECT_TRUE(report.at("ok").as_bool());
+  EXPECT_EQ(report.at("checked").as_int(), 0);
+}
+
+TEST(Gate, MissingPhaseIsAViolation) {
+  RankMetrics other;
+  other.rank = 0;
+  other.counters["time.eval.other.wall"] = 1.0;
+  const Json base = summarize_metrics({synth_rank(0, 1.0)});
+  const Json report = compare_summaries(summarize_metrics({other}), base);
+  EXPECT_FALSE(report.at("ok").as_bool());
+  ASSERT_EQ(report.at("violations").size(), 1u);
+  const Json& v = report.at("violations").items()[0];
+  EXPECT_EQ(v.at("phase").as_string(), "eval.uli");
+  EXPECT_EQ(v.at("metric").as_string(), "missing");
+}
+
+TEST(Gate, DifferentRankCountsAreNotComparable) {
+  const Json two = summarize_metrics({synth_rank(0, 1.0), synth_rank(1, 1.0)});
+  const Json one = summarize_metrics({synth_rank(0, 1.0)});
+  EXPECT_THROW(compare_summaries(two, one), CheckFailure);
 }
 
 // ------------------------------------------------- Table II int. test
@@ -417,6 +733,92 @@ TEST(Integration, PaperPhasesAllReport) {
   const Json doc = metrics_to_json(ranks);
   validate_metrics_json(doc);
   EXPECT_EQ(metrics_to_json(metrics_from_json(doc)), doc);
+}
+
+/// The acceptance check for the cross-rank summary: a real multi-rank
+/// FMM run must leave every rank holding the SAME schema-valid
+/// summary, whose per-phase totals equal the sum of the per-rank
+/// canonical counters and whose comm-matrix marginals equal the
+/// tagged comm.* counters.
+TEST(Integration, CrossRankSummaryAgreesWithPerRankMetrics) {
+  kernels::LaplaceKernel kernel;
+  core::FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 20;
+  const core::Tables tables(kernel, opts);
+
+  constexpr int kP = 4;
+  std::vector<Json> summaries(kP);
+  auto reports = comm::Runtime::run(kP, [&](comm::RankCtx& ctx) {
+    auto pts = octree::generate_points(octree::Distribution::kEllipsoid,
+                                       2000, ctx.rank(), ctx.size(), 1, 42);
+    core::ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+    (void)fmm.evaluate();
+    summaries[static_cast<std::size_t>(ctx.rank())] = fmm.summary();
+  });
+
+  // Identical document on every rank (the allgather pattern).
+  validate_summary_json(summaries[0]);
+  for (int r = 1; r < kP; ++r) EXPECT_EQ(summaries[r], summaries[0]);
+  const Json& doc = summaries[0];
+  EXPECT_EQ(doc.at("nranks").as_int(), kP);
+
+  // Per-phase totals equal the sum of per-rank counter values. The
+  // gather runs after evaluate(), so the eval-phase counters in the
+  // end-of-run reports are exactly what was summarized.
+  for (const char* phase : {"eval.s2u", "eval.vli", "eval.uli"}) {
+    double wall = 0.0, flops = 0.0;
+    for (const auto& rep : reports) {
+      wall += rep.obs.counters.at(std::string("time.") + phase + ".wall");
+      flops += rep.obs.counters.at(std::string("flops.") + phase);
+    }
+    const Json& ph = doc.at("phases").at(phase);
+    EXPECT_NEAR(ph.at("wall").at("sum").as_double(), wall, 1e-9 * wall + 1e-12)
+        << phase;
+    EXPECT_NEAR(ph.at("flops").at("sum").as_double(), flops, 1e-9 * flops)
+        << phase;
+    const double eff = ph.at("overlap_efficiency").as_double();
+    EXPECT_GT(eff, 0.0) << phase;
+    EXPECT_LE(eff, 1.0 + 1e-9) << phase;
+  }
+  EXPECT_GT(doc.at("phases").at("eval").at("critical_path").as_double(), 0.0);
+
+  // The gather's own traffic is excluded from the summary it builds.
+  EXPECT_FALSE(doc.at("phases").contains("obs.gather"));
+
+  // Comm-matrix row sums equal the tagged per-rank send counters; the
+  // reduction phase actually moved traffic.
+  const Json& mats = doc.at("comm_matrix");
+  EXPECT_TRUE(mats.contains("eval.comm"));
+  for (const std::string& phase : mats.keys()) {
+    for (const char* unit : {"msgs", "bytes"}) {
+      const auto& rows = mats.at(phase).at(unit).items();
+      double total = 0.0;
+      for (int r = 0; r < kP; ++r) {
+        double row_sum = 0.0;
+        for (const Json& cell : rows[static_cast<std::size_t>(r)].items())
+          row_sum += cell.as_double();
+        total += row_sum;
+        const auto& c = reports[static_cast<std::size_t>(r)].obs.counters;
+        auto it = c.find("comm." + phase + "." + unit + "_sent");
+        EXPECT_DOUBLE_EQ(row_sum, it == c.end() ? 0.0 : it->second)
+            << phase << " " << unit << " row " << r;
+      }
+      // Same total through the flat-metric path.
+      EXPECT_NEAR(doc.at("metrics")
+                      .at("comm." + phase + "." + unit + "_sent")
+                      .at("sum")
+                      .as_double(),
+                  total, 1e-9 * total + 1e-12)
+          << phase << " " << unit;
+    }
+  }
+  const auto& rmat = mats.at("eval.comm").at("msgs").items();
+  double reduce_msgs = 0.0;
+  for (const auto& row : rmat)
+    for (const Json& cell : row.items()) reduce_msgs += cell.as_double();
+  EXPECT_GT(reduce_msgs, 0.0);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <thread>
 
@@ -142,6 +143,68 @@ TEST(Summary, EmptyIsZero) {
   auto s = Summary::of({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+/// imbalance() is max/avg ONLY when the mean is finite and nonzero;
+/// every degenerate case reports 1.0 ("balanced") instead of a
+/// meaningless or infinite quotient.
+TEST(Summary, ImbalanceEdgeCases) {
+  // Empty sample set.
+  EXPECT_DOUBLE_EQ(Summary::of({}).imbalance(), 1.0);
+  // All-zero metric (phase nobody entered).
+  const double zeros[] = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Summary::of(zeros).imbalance(), 1.0);
+  // Signed samples cancelling to a zero mean: max/avg would be inf.
+  const double cancel[] = {-2.0, 2.0};
+  EXPECT_DOUBLE_EQ(Summary::of(cancel).imbalance(), 1.0);
+  // Non-finite mean (a sample overflowed): no information either.
+  const double inf[] = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_DOUBLE_EQ(Summary::of(inf).imbalance(), 1.0);
+  // Single sample is perfectly balanced by definition.
+  const double one[] = {3.5};
+  EXPECT_DOUBLE_EQ(Summary::of(one).imbalance(), 1.0);
+  // Signed samples with a nonzero mean keep the raw quotient.
+  const double skew[] = {-1.0, 3.0};  // avg 1.0, max 3.0
+  EXPECT_DOUBLE_EQ(Summary::of(skew).imbalance(), 3.0);
+}
+
+/// Accumulator::merge (Chan et al.) must agree with a single
+/// accumulator that saw the concatenated stream — this is what lets
+/// cross-rank aggregation fold per-run accumulators without revisiting
+/// samples.
+TEST(Accumulator, MergeMatchesSingleStream) {
+  Rng r(17);
+  Accumulator whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform() * 10.0 - 3.0;
+    whole.add(x);
+    (i < 640 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator filled;
+  filled.add(1.0);
+  filled.add(5.0);
+
+  Accumulator lhs_empty;
+  lhs_empty.merge(filled);  // empty <- filled adopts the other side
+  EXPECT_EQ(lhs_empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs_empty.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(lhs_empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(lhs_empty.max(), 5.0);
+
+  Accumulator rhs_empty = filled;
+  rhs_empty.merge(Accumulator{});  // filled <- empty is a no-op
+  EXPECT_EQ(rhs_empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(rhs_empty.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rhs_empty.variance(), filled.variance());
 }
 
 TEST(Stats, RelL2ErrorOfIdenticalVectorsIsZero) {

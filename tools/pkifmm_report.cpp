@@ -1,0 +1,175 @@
+/// \file pkifmm_report.cpp
+/// \brief Human-readable report over a "pkifmm.summary.v1" document
+/// (the cross-rank summary written by any bench's --summary-out or by
+/// obs::write_summary_json).
+///
+/// Three sections:
+///   1. a paper-style per-phase breakdown (Table II layout: Max/Avg
+///      wall time, Max/Avg flops, plus the overlap efficiency the
+///      summary derives from cross-rank span timelines),
+///   2. the top-k phases by wall-time imbalance (max/avg across
+///      ranks) — where to look first when scaling stalls,
+///   3. an ASCII heatmap of the per-phase communication matrix
+///      (row = sender, column = receiver), the traffic-shape evidence
+///      behind the paper's Algorithm 2/3 claims.
+///
+///   pkifmm_report --summary=<summary.json>
+///       [--top=5]                  # rows in the imbalance section
+///       [--matrix-phase=<phase>]   # default: every phase with traffic
+///       [--matrix-metric=bytes]    # or msgs
+///
+/// Exit status: 0 on success, 2 on bad input.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/aggregate.hpp"
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pkifmm;
+
+namespace {
+
+double stat(const obs::Json& phase, const std::string& metric,
+            const std::string& field) {
+  return phase.at(metric).at(field).as_double();
+}
+
+/// Ten-step density ramp used for the heatmap cells.
+char shade(double value, double vmax) {
+  static const char kRamp[] = " .:-=+*#%@";
+  if (vmax <= 0.0 || value <= 0.0) return kRamp[0];
+  const double frac = value / vmax;
+  int idx = 1 + static_cast<int>(frac * 8.999);
+  idx = std::min(idx, 9);
+  return kRamp[idx];
+}
+
+double matrix_total(const obs::Json& mat) {
+  double total = 0.0;
+  for (const obs::Json& row : mat.items())
+    for (const obs::Json& cell : row.items()) total += cell.as_double();
+  return total;
+}
+
+void print_heatmap(const std::string& phase, const std::string& metric,
+                   const obs::Json& mat) {
+  const auto& rows = mat.items();
+  const int p = static_cast<int>(rows.size());
+  double vmax = 0.0;
+  for (const obs::Json& row : rows)
+    for (const obs::Json& cell : row.items())
+      vmax = std::max(vmax, cell.as_double());
+
+  std::printf("  %s (%s, row=src, col=dst, max cell %s)\n", phase.c_str(),
+              metric.c_str(), sci(vmax).c_str());
+  std::printf("      ");
+  for (int c = 0; c < p; ++c) std::printf("%d", c % 10);
+  std::printf("\n");
+  for (int r = 0; r < p; ++r) {
+    std::printf("  %3d ", r);
+    for (int c = 0; c < p; ++c)
+      std::putchar(shade(rows[r].items()[c].as_double(), vmax));
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string path = cli.get("summary", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: pkifmm_report --summary=<summary.json>\n");
+    return 2;
+  }
+  const auto top_k = static_cast<std::size_t>(cli.get_int("top", 5));
+  const std::string want_phase = cli.get("matrix-phase", "");
+  const std::string matrix_metric = cli.get("matrix-metric", "bytes");
+  if (matrix_metric != "bytes" && matrix_metric != "msgs") {
+    std::fprintf(stderr, "pkifmm_report: --matrix-metric must be bytes|msgs\n");
+    return 2;
+  }
+
+  const obs::Json doc = obs::read_json_file(path);
+  obs::validate_summary_json(doc);
+
+  const std::string bench = doc.at("bench").as_string();
+  std::printf("pkifmm summary report: %s\n", path.c_str());
+  std::printf("schema %s | bench %s | %lld rank(s) | %lld run(s)\n\n",
+              doc.at("schema").as_string().c_str(),
+              bench.empty() ? "-" : bench.c_str(),
+              static_cast<long long>(doc.at("nranks").as_int()),
+              static_cast<long long>(doc.at("nruns").as_int()));
+
+  // --- 1. Paper-style breakdown (Table II layout), sorted by max wall.
+  const obs::Json& phases = doc.at("phases");
+  std::vector<std::string> names = phases.keys();
+  std::sort(names.begin(), names.end(),
+            [&](const std::string& a, const std::string& b) {
+              return stat(phases.at(a), "wall", "max") >
+                     stat(phases.at(b), "wall", "max");
+            });
+
+  Table breakdown({"Phase", "Max Wall", "Avg Wall", "Max Flops", "Avg Flops",
+                   "Msgs", "Bytes", "Overlap"});
+  for (const std::string& name : names) {
+    const obs::Json& ph = phases.at(name);
+    breakdown.add_row({name, sci(stat(ph, "wall", "max")),
+                       sci(stat(ph, "wall", "avg")),
+                       sci(stat(ph, "flops", "max")),
+                       sci(stat(ph, "flops", "avg")),
+                       sci(stat(ph, "msgs_sent", "sum")),
+                       sci(stat(ph, "bytes_sent", "sum")),
+                       fixed(ph.at("overlap_efficiency").as_double())});
+  }
+  std::printf("Per-phase breakdown (sorted by max wall time):\n%s\n",
+              breakdown.str().c_str());
+
+  // --- 2. Top-k phases by wall-time imbalance. Phases with negligible
+  // time are skipped: max/avg over microseconds is noise, not signal.
+  std::vector<std::string> ranked;
+  for (const std::string& name : names)
+    if (stat(phases.at(name), "wall", "max") > 1e-6) ranked.push_back(name);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const std::string& a, const std::string& b) {
+              return stat(phases.at(a), "wall", "imbalance") >
+                     stat(phases.at(b), "wall", "imbalance");
+            });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+
+  Table imbalance({"Phase", "Imbalance", "Max Wall", "Avg Wall", "Bar"});
+  for (const std::string& name : ranked) {
+    const obs::Json& ph = phases.at(name);
+    const double imb = stat(ph, "wall", "imbalance");
+    imbalance.add_row({name, fixed(imb), sci(stat(ph, "wall", "max")),
+                       sci(stat(ph, "wall", "avg")), bar(imb, 4.0, 16)});
+  }
+  std::printf("Top-%zu phases by wall-time imbalance (max/avg):\n%s\n",
+              ranked.size(), imbalance.str().c_str());
+
+  // --- 3. Communication-matrix heatmaps.
+  const obs::Json& matrices = doc.at("comm_matrix");
+  std::printf("Communication matrices:\n");
+  bool printed = false;
+  for (const std::string& phase : matrices.keys()) {
+    if (!want_phase.empty() && phase != want_phase) continue;
+    const obs::Json& mat = matrices.at(phase).at(matrix_metric);
+    if (want_phase.empty() && matrix_total(mat) <= 0.0) continue;
+    print_heatmap(phase, matrix_metric, mat);
+    printed = true;
+  }
+  if (!printed) {
+    if (!want_phase.empty() && !matrices.contains(want_phase)) {
+      std::fprintf(stderr, "pkifmm_report: no comm matrix for phase '%s'\n",
+                   want_phase.c_str());
+      return 2;
+    }
+    std::printf("  (no point-to-point traffic recorded)\n");
+  }
+  return 0;
+}

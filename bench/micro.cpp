@@ -6,14 +6,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "comm/comm.hpp"
 #include "comm/sort.hpp"
 #include "core/surface.hpp"
 #include "core/tables.hpp"
 #include "fft/fft.hpp"
 #include "kernels/kernel.hpp"
+#include "la/matrix.hpp"
 #include "la/svd.hpp"
 #include "morton/key.hpp"
+#include "obs/json.hpp"
 #include "octree/build.hpp"
 #include "util/rng.hpp"
 
@@ -76,6 +83,76 @@ void BM_Fft3d(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * plan.transform_flops());
 }
 BENCHMARK(BM_Fft3d)->Arg(8)->Arg(16);
+
+void BM_LaGemmAcc(benchmark::State& state) {
+  // One surface-operator application batched over nb octant columns
+  // (n=6 surfaces have m=152 points; Laplace operators are 152x152).
+  const std::size_t nb = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  la::Matrix a(152, 152);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) a(r, c) = rng.uniform(-1, 1);
+  std::vector<double> b(a.cols() * nb), acc(a.rows() * nb);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    la::gemm_acc(a, b, acc, nb, 0.5);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(la::gemm_flops(a, nb)));
+}
+BENCHMARK(BM_LaGemmAcc)->Arg(32)->Arg(256);
+
+void BM_FftPointwiseMacMany(benchmark::State& state) {
+  // One translation spectrum applied to a run of source/accumulator
+  // volumes, as in the offset-sorted V-list (grid 16 = surface n 6).
+  const std::size_t npairs = static_cast<std::size_t>(state.range(0));
+  const std::size_t vol = fft::Fft3d(16).volume();
+  Rng rng(8);
+  std::vector<fft::Complex> g(vol), f(npairs * vol), acc(npairs * vol);
+  for (auto& v : g) v = fft::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  for (auto& v : f) v = fft::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  std::vector<const fft::Complex*> fs(npairs);
+  std::vector<fft::Complex*> accs(npairs);
+  for (std::size_t p = 0; p < npairs; ++p) {
+    fs[p] = f.data() + p * vol;
+    accs[p] = acc.data() + p * vol;
+  }
+  for (auto _ : state) {
+    fft::pointwise_mac_many(g, fs, accs);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * vol * npairs));
+}
+BENCHMARK(BM_FftPointwiseMacMany)->Arg(1)->Arg(32);
+
+void BM_FftPointwiseMacChunked(benchmark::State& state) {
+  // One frequency chunk of the chunk-major V-list sweep: nentries
+  // (source, accumulator) slot pairs under one operator slice.
+  const std::size_t nentries = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChunk = 16;
+  const std::size_t nslots = 256;
+  Rng rng(9);
+  std::vector<fft::Complex> g(kChunk), f(nslots * kChunk),
+      acc(nslots * kChunk);
+  for (auto& v : g) v = fft::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  for (auto& v : f) v = fft::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  std::vector<std::int32_t> fidx(nentries), aidx(nentries);
+  for (std::size_t e = 0; e < nentries; ++e) {
+    fidx[e] = static_cast<std::int32_t>(rng.uniform_u64(nslots));
+    aidx[e] = static_cast<std::int32_t>(rng.uniform_u64(nslots));
+  }
+  for (auto _ : state) {
+    fft::pointwise_mac_chunked(g.data(), kChunk, f.data(), acc.data(), fidx,
+                               aidx);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * kChunk * nentries));
+}
+BENCHMARK(BM_FftPointwiseMacChunked)->Arg(64)->Arg(1024);
 
 void BM_PinvPrecompute(benchmark::State& state) {
   // The S2U/D2D conversion operator build for surface order n.
@@ -144,6 +221,63 @@ void BM_TreeConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeConstruction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// Console reporting plus machine-readable capture for the perf-gate
+/// artifacts (the other benches' --metrics-out analog; google-benchmark
+/// owns the timing loop here, so the capture rides on the reporter).
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      obs::Json o = obs::Json::object();
+      o.set("name", r.benchmark_name());
+      o.set("time_unit", benchmark::GetTimeUnitString(r.time_unit));
+      o.set("real_time", r.GetAdjustedRealTime());
+      o.set("cpu_time", r.GetAdjustedCPUTime());
+      o.set("iterations", static_cast<std::int64_t>(r.iterations));
+      for (const auto& [name, counter] : r.counters)
+        o.set(name, static_cast<double>(counter));
+      runs_.push_back(std::move(o));
+    }
+  }
+  obs::Json take_runs() { return std::move(runs_); }
+
+ private:
+  obs::Json runs_ = obs::Json::array();
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark rejects flags it does not know, so peel off
+  // --metrics-out before handing argv over.
+  std::string metrics_path;
+  std::vector<char*> args;
+  constexpr std::string_view kFlag = "--metrics-out=";
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind(kFlag, 0) == 0) {
+      metrics_path = std::string(a.substr(kFlag.size()));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int nargs = static_cast<int>(args.size());
+  benchmark::Initialize(&nargs, args.data());
+  if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1;
+
+  MetricsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!metrics_path.empty()) {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", "pkifmm.micro-metrics.v1");
+    doc.set("bench", "micro");
+    doc.set("runs", reporter.take_runs());
+    obs::write_json_file(metrics_path, doc);
+    std::printf("[metrics] wrote %s\n", metrics_path.c_str());
+  }
+  return 0;
+}

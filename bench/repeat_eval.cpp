@@ -20,20 +20,21 @@ int main(int argc, char** argv) {
   const int p = static_cast<int>(cli.get_int("p", 4));
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 20000));
   const int steps = static_cast<int>(cli.get_int("steps", 5));
+  const auto dist =
+      octree::distribution_from_name(cli.get("dist", "ellipsoid"));
 
   print_header("Repeated evaluation",
                "setup amortization over time-stepper-style calls");
 
   const core::Tables& base = tables_for("laplace", core::FmmOptions{});
   core::FmmOptions opts = base.options();
-  opts.max_points_per_leaf = 60;
+  opts.max_points_per_leaf = static_cast<int>(cli.get_int("q", 60));
   const core::Tables tables = base.with_options(opts);
 
   std::vector<double> setup_cpu(p, 0.0);
   std::vector<std::vector<double>> step_cpu(steps, std::vector<double>(p));
   comm::Runtime::run(p, [&](comm::RankCtx& ctx) {
-    auto pts = octree::generate_points(octree::Distribution::kEllipsoid, n,
-                                       ctx.rank(), p, 1, 77);
+    auto pts = octree::generate_points(dist, n, ctx.rank(), p, 1, 77);
     core::ParallelFmm fmm(ctx, tables);
     {
       const double t0 = thread_cpu_seconds();

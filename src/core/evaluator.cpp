@@ -1,27 +1,18 @@
 #include "core/evaluator.hpp"
 
+#include <algorithm>
+#include <numeric>
+#include <tuple>
 #include <unordered_map>
-
-#include "core/surface.hpp"
 
 namespace pkifmm::core {
 
 using morton::Key;
 using octree::LetNode;
 
-namespace {
-
-std::vector<double> box_surface(const Tables& t, double radius_scale,
-                                const Key& k) {
-  const auto g = morton::box_geometry(k);
-  return surface_points(t.n(), radius_scale, g.center, g.half_width);
-}
-
-}  // namespace
-
 Evaluator::Evaluator(const Tables& tables, const octree::Let& let,
                      comm::RankCtx& ctx)
-    : tables_(tables), let_(let), ctx_(ctx) {
+    : tables_(tables), let_(let), ctx_(ctx), surf_(tables.n()) {
   const std::size_t nn = let_.nodes.size();
   u_.assign(nn * tables_.eq_len(), 0.0);
   checkpot_.assign(nn * tables_.check_len(), 0.0);
@@ -46,6 +37,22 @@ Evaluator::Evaluator(const Tables& tables, const octree::Let& let,
     }
   }
   src_offset_[let_.nodes.size()] = src_pos_.size() / 3;
+
+  surf_scratch_.resize(std::size_t(3) * surf_.count());
+
+  // Level index for the batched phases (node order within a level).
+  if (!let_.nodes.empty()) {
+    min_level_ = morton::kMaxDepth + 1;
+    max_level_ = -1;
+    for (const LetNode& n : let_.nodes) {
+      min_level_ = std::min(min_level_, static_cast<int>(n.key.level));
+      max_level_ = std::max(max_level_, static_cast<int>(n.key.level));
+    }
+    level_nodes_.resize(max_level_ + 1);
+    for (std::size_t i = 0; i < nn; ++i)
+      level_nodes_[let_.nodes[i].key.level].push_back(
+          static_cast<std::int32_t>(i));
+  }
 }
 
 std::span<const double> Evaluator::leaf_source_positions(
@@ -71,6 +78,24 @@ std::span<double> Evaluator::leaf_target_potential(const LetNode& n) {
   const int td = tables_.tdim();
   return {f_.data() + std::size_t(n.point_begin) * td,
           std::size_t(n.target_count) * td};
+}
+
+std::span<const double> Evaluator::box_surf(double radius_scale,
+                                            const Key& k) {
+  const auto g = morton::box_geometry(k);
+  surf_.materialize(radius_scale, g.center, g.half_width, surf_scratch_);
+  return surf_scratch_;
+}
+
+int Evaluator::pair_offset_index(const LetNode& tnode,
+                                 const LetNode& snode) const {
+  const auto ta = morton::anchor(tnode.key);
+  const auto sa = morton::anchor(snode.key);
+  const auto side = morton::cell_side(tnode.key);
+  const int dx = (static_cast<std::int64_t>(ta[0]) - sa[0]) / side;
+  const int dy = (static_cast<std::int64_t>(ta[1]) - sa[1]) / side;
+  const int dz = (static_cast<std::int64_t>(ta[2]) - sa[2]) / side;
+  return offset_index(dx, dy, dz);
 }
 
 void Evaluator::run() {
@@ -112,7 +137,9 @@ void Evaluator::run() {
   }
 }
 
-void Evaluator::s2u() {
+void Evaluator::s2u() { batched() ? s2u_batched() : s2u_scalar(); }
+
+void Evaluator::s2u_scalar() {
   const auto& kern = tables_.kernel();
   std::vector<double> check(tables_.check_len());
   for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
@@ -120,7 +147,7 @@ void Evaluator::s2u() {
     if (!(node.owned && node.global_leaf)) continue;
     if (leaf_source_positions(i).empty()) continue;
     const auto uc =
-        box_surface(tables_, tables_.options().upward_check_radius, node.key);
+        box_surf(tables_.options().upward_check_radius, node.key);
     std::fill(check.begin(), check.end(), 0.0);
     ctx_.flops.add("eval.s2u", kern.direct(uc, leaf_source_positions(i),
                                            leaf_source_densities(i), check));
@@ -133,7 +160,51 @@ void Evaluator::s2u() {
   }
 }
 
-void Evaluator::u2u() {
+void Evaluator::s2u_batched() {
+  const auto& kern = tables_.kernel();
+  const std::size_t clen = tables_.check_len();
+  const std::size_t elen = tables_.eq_len();
+  for (int level = min_level_; level <= max_level_; ++level) {
+    // Contributing leaves at this level.
+    slots_a_.clear();
+    for (auto i : level_nodes_[level]) {
+      const LetNode& node = let_.nodes[i];
+      if (!(node.owned && node.global_leaf)) continue;
+      if (leaf_source_positions(i).empty()) continue;
+      slots_a_.push_back(i);
+    }
+    if (slots_a_.empty()) continue;
+    const std::size_t nb = slots_a_.size();
+
+    // Per-leaf upward-check potentials into node-major scratch...
+    batch_tmp_.assign(nb * clen, 0.0);
+    for (std::size_t j = 0; j < nb; ++j) {
+      const std::int32_t i = slots_a_[j];
+      const auto uc =
+          box_surf(tables_.options().upward_check_radius, let_.nodes[i].key);
+      ctx_.flops.add(
+          "eval.s2u",
+          kern.direct(uc, leaf_source_positions(i), leaf_source_densities(i),
+                      std::span<double>(batch_tmp_.data() + j * clen, clen)));
+    }
+
+    // ...transposed to batch columns, then ONE uc2ue application for
+    // the whole level.
+    slots_b_.resize(nb);
+    std::iota(slots_b_.begin(), slots_b_.end(), 0);
+    batch_in_.resize(clen * nb);
+    la::gather_columns(batch_tmp_, slots_b_, clen, batch_in_);
+    const LevelOps ops = tables_.at(level);
+    batch_out_.assign(elen * nb, 0.0);
+    la::gemm_acc(*ops.uc2ue, batch_in_, batch_out_, nb, ops.uc2ue_scale);
+    ctx_.flops.add("eval.s2u", la::gemm_flops(*ops.uc2ue, nb));
+    la::scatter_columns_acc(batch_out_, slots_a_, elen, u_);
+  }
+}
+
+void Evaluator::u2u() { batched() ? u2u_batched() : u2u_scalar(); }
+
+void Evaluator::u2u_scalar() {
   // Reverse preorder = children before parents.
   for (std::size_t ri = let_.nodes.size(); ri-- > 0;) {
     const LetNode& node = let_.nodes[ri];
@@ -152,6 +223,40 @@ void Evaluator::u2u() {
   }
 }
 
+void Evaluator::u2u_batched() {
+  // Deepest level first so every child's density is final before it is
+  // lifted; within a level, one GEMM per child index (the eight M2M
+  // operators of the paper's Table I). Child indices run high-to-low
+  // to add into each parent in the same order as the scalar engine's
+  // reverse-preorder sweep, so u2u rounds identically in both modes.
+  const std::size_t elen = tables_.eq_len();
+  for (int level = max_level_; level > min_level_; --level) {
+    if (level_nodes_[level].empty()) continue;
+    const LevelOps ops = tables_.at(level - 1);
+    for (int ci = 7; ci >= 0; --ci) {
+      slots_a_.clear();  // children
+      slots_b_.clear();  // parents
+      for (auto i : level_nodes_[level]) {
+        const LetNode& node = let_.nodes[i];
+        if (!node.target || node.parent < 0) continue;
+        if (!let_.nodes[node.parent].target) continue;
+        if (morton::child_index(node.key) != ci) continue;
+        slots_a_.push_back(i);
+        slots_b_.push_back(node.parent);
+      }
+      if (slots_a_.empty()) continue;
+      const std::size_t nb = slots_a_.size();
+      const la::Matrix& m = (*ops.m2m)[ci];
+      batch_in_.resize(elen * nb);
+      la::gather_columns(u_, slots_a_, elen, batch_in_);
+      batch_out_.assign(elen * nb, 0.0);
+      la::gemm_acc(m, batch_in_, batch_out_, nb);
+      ctx_.flops.add("eval.u2u", la::gemm_flops(m, nb));
+      la::scatter_columns_acc(batch_out_, slots_b_, elen, u_);
+    }
+  }
+}
+
 void Evaluator::comm_reduce() {
   ctx_.comm.cost().set_phase("eval.comm");
   reduce_upward_densities(ctx_.comm, let_, tables_.eq_len(), u_,
@@ -160,36 +265,75 @@ void Evaluator::comm_reduce() {
 
 void Evaluator::vli() {
   if (tables_.options().m2l == M2lMode::kDense) {
-    // Dense baseline: one gemv per (target, source) pair.
-    for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    batched() ? vli_dense_batched() : vli_dense_scalar();
+  } else {
+    batched() ? vli_fft_batched() : vli_fft_scalar();
+  }
+}
+
+void Evaluator::vli_dense_scalar() {
+  // Dense baseline: one gemv per (target, source) pair.
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!node.target) continue;
+    const auto list = let_.v.of(i);
+    if (list.empty()) continue;
+    const LevelOps ops = tables_.at(node.key.level);
+    for (auto si : list) {
+      const la::Matrix& m = tables_.m2l_dense(
+          node.key.level, pair_offset_index(node, let_.nodes[si]));
+      la::gemv_acc(m,
+                   std::span<const double>(
+                       u_.data() + std::size_t(si) * tables_.eq_len(),
+                       tables_.eq_len()),
+                   std::span<double>(
+                       checkpot_.data() + i * tables_.check_len(),
+                       tables_.check_len()),
+                   ops.m2l_scale);
+      ctx_.flops.add("eval.vli", la::gemv_flops(m));
+    }
+  }
+}
+
+void Evaluator::vli_dense_batched() {
+  // Pairs sorted by translation offset: one GEMM per (level, offset).
+  const std::size_t elen = tables_.eq_len();
+  const std::size_t clen = tables_.check_len();
+  std::vector<std::tuple<int, std::int32_t, std::int32_t>> pairs;
+  for (int level = min_level_; level <= max_level_; ++level) {
+    pairs.clear();
+    for (auto i : level_nodes_[level]) {
       const LetNode& node = let_.nodes[i];
       if (!node.target) continue;
-      const auto list = let_.v.of(i);
-      if (list.empty()) continue;
-      const LevelOps ops = tables_.at(node.key.level);
-      const auto ta = morton::anchor(node.key);
-      const auto side = morton::cell_side(node.key);
-      for (auto si : list) {
-        const auto sa = morton::anchor(let_.nodes[si].key);
-        const int dx = (static_cast<std::int64_t>(ta[0]) - sa[0]) / side;
-        const int dy = (static_cast<std::int64_t>(ta[1]) - sa[1]) / side;
-        const int dz = (static_cast<std::int64_t>(ta[2]) - sa[2]) / side;
-        const la::Matrix& m =
-            tables_.m2l_dense(node.key.level, offset_index(dx, dy, dz));
-        la::gemv_acc(m,
-                     std::span<const double>(
-                         u_.data() + std::size_t(si) * tables_.eq_len(),
-                         tables_.eq_len()),
-                     std::span<double>(
-                         checkpot_.data() + i * tables_.check_len(),
-                         tables_.check_len()),
-                     ops.m2l_scale);
-        ctx_.flops.add("eval.vli", la::gemv_flops(m));
-      }
+      for (auto si : let_.v.of(i))
+        pairs.emplace_back(pair_offset_index(node, let_.nodes[si]), i, si);
     }
-    return;
+    if (pairs.empty()) continue;
+    std::sort(pairs.begin(), pairs.end());
+    const LevelOps ops = tables_.at(level);
+    for (std::size_t r0 = 0; r0 < pairs.size();) {
+      const int off = std::get<0>(pairs[r0]);
+      std::size_t r1 = r0;
+      slots_a_.clear();  // sources
+      slots_b_.clear();  // targets
+      for (; r1 < pairs.size() && std::get<0>(pairs[r1]) == off; ++r1) {
+        slots_b_.push_back(std::get<1>(pairs[r1]));
+        slots_a_.push_back(std::get<2>(pairs[r1]));
+      }
+      const std::size_t nb = r1 - r0;
+      const la::Matrix& m = tables_.m2l_dense(level, off);
+      batch_in_.resize(elen * nb);
+      la::gather_columns(u_, slots_a_, elen, batch_in_);
+      batch_out_.assign(clen * nb, 0.0);
+      la::gemm_acc(m, batch_in_, batch_out_, nb, ops.m2l_scale);
+      ctx_.flops.add("eval.vli", la::gemm_flops(m, nb));
+      la::scatter_columns_acc(batch_out_, slots_b_, clen, checkpot_);
+      r0 = r1;
+    }
   }
+}
 
+void Evaluator::vli_fft_scalar() {
   // FFT-diagonal translation, batched by level so per-octant spectra are
   // kept only for the level being processed.
   const int sd = tables_.sdim();
@@ -198,18 +342,12 @@ void Evaluator::vli() {
   const auto& embed = tables_.embed_index();
   const int m = tables_.m();
 
-  int min_level = morton::kMaxDepth + 1, max_level = -1;
-  for (const LetNode& n : let_.nodes) {
-    min_level = std::min(min_level, static_cast<int>(n.key.level));
-    max_level = std::max(max_level, static_cast<int>(n.key.level));
-  }
-
   std::vector<fft::Complex> acc(static_cast<std::size_t>(td) * vol);
-  for (int level = min_level; level <= max_level; ++level) {
+  for (int level = min_level_; level <= max_level_; ++level) {
     // Sources used by some target's V-list at this level.
     std::unordered_map<std::int32_t, std::vector<fft::Complex>> spectra;
-    for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
-      if (!let_.nodes[i].target || let_.nodes[i].key.level != level) continue;
+    for (auto i : level_nodes_[level]) {
+      if (!let_.nodes[i].target) continue;
       for (auto si : let_.v.of(i)) spectra.try_emplace(si);
     }
     if (spectra.empty()) continue;
@@ -230,21 +368,16 @@ void Evaluator::vli() {
 
     // Diagonal translation + inverse FFT per target.
     const LevelOps ops = tables_.at(level);
-    for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    for (auto i : level_nodes_[level]) {
       const LetNode& node = let_.nodes[i];
-      if (!node.target || node.key.level != level) continue;
+      if (!node.target) continue;
       const auto list = let_.v.of(i);
       if (list.empty()) continue;
 
       std::fill(acc.begin(), acc.end(), fft::Complex(0, 0));
-      const auto ta = morton::anchor(node.key);
-      const auto side = morton::cell_side(node.key);
       for (auto si : list) {
-        const auto sa = morton::anchor(let_.nodes[si].key);
-        const int dx = (static_cast<std::int64_t>(ta[0]) - sa[0]) / side;
-        const int dy = (static_cast<std::int64_t>(ta[1]) - sa[1]) / side;
-        const int dz = (static_cast<std::int64_t>(ta[2]) - sa[2]) / side;
-        const auto g = tables_.m2l_spectra(level, offset_index(dx, dy, dz));
+        const auto g = tables_.m2l_spectra(
+            level, pair_offset_index(node, let_.nodes[si]));
         const auto& spec = spectra.at(si);
         for (int ti = 0; ti < td; ++ti)
           for (int si_c = 0; si_c < sd; ++si_c)
@@ -261,13 +394,177 @@ void Evaluator::vli() {
             std::span<fft::Complex>(acc.data() + std::size_t(ti) * vol, vol));
       ctx_.flops.add("eval.vli", td * tables_.fft().transform_flops());
 
-      double* out = checkpot_.data() + i * tables_.check_len();
+      double* out = checkpot_.data() + std::size_t(i) * tables_.check_len();
       for (int k = 0; k < m; ++k)
         for (int ti = 0; ti < td; ++ti)
           out[k * td + ti] +=
               ops.m2l_scale *
               acc[static_cast<std::size_t>(ti) * vol + embed[k]].real();
     }
+  }
+}
+
+
+void Evaluator::vli_fft_batched() {
+  // Same math as the scalar FFT path with three structural changes:
+  //  - spectra live in ONE flat buffer indexed by level-sorted source
+  //    slots (slot_of_) instead of an unordered_map of vectors,
+  //  - (target, source) pairs are sorted by translation-offset index so
+  //    each m2l_spectra operator is fetched once per run,
+  //  - spectra and accumulators are stored CHUNK-MAJOR (all slots'
+  //    values for one kFreqChunk-frequency chunk contiguous) and the
+  //    diagonal multiply sweeps the frequency axis in the outer loop:
+  //    each chunk's working set (one chunk of every live slot) fits L2,
+  //    so the MAC is compute-bound instead of re-streaming full 3-D
+  //    volumes from memory for every pair.
+  // Flop accounting is per-source/per-pair/per-target exactly as in the
+  // scalar path, so totals are identical.
+  const int sd = tables_.sdim();
+  const int td = tables_.tdim();
+  const std::size_t vol = tables_.fft_volume();
+  const auto& embed = tables_.embed_index();
+  const int m = tables_.m();
+  const std::size_t elen = tables_.eq_len();
+  const std::size_t clen = tables_.check_len();
+
+  // Chunk-major addressing: value (slot_comp, q) lives at
+  // buf[(q / kFreqChunk) * ncomp * kFreqChunk + slot_comp * kFreqChunk
+  //     + q % kFreqChunk].
+  constexpr std::size_t kFreqChunk = 16;
+  PKIFMM_CHECK(vol % kFreqChunk == 0);
+  const std::size_t nchunks = vol / kFreqChunk;
+
+  slot_of_.assign(let_.nodes.size(), -1);
+
+  std::vector<std::tuple<int, std::int32_t, std::int32_t>> pairs;
+  // A run group applies one td x sd component of one offset's spectrum
+  // to entries [e0, e1) of the flat fidx/aidx arrays.
+  struct RunGroup {
+    const fft::Complex* g;
+    std::size_t e0, e1;
+  };
+  std::vector<RunGroup> groups;
+  std::vector<std::int32_t> fidx, aidx;
+  std::vector<fft::Complex> line(vol);  // one volume, embed/extract order
+
+  for (int level = min_level_; level <= max_level_; ++level) {
+    // Targets with V-interactions at this level, and the flat slot
+    // index of the unique sources they reference.
+    slots_b_.clear();  // target node indices
+    slots_a_.clear();  // source node index per slot
+    for (auto i : level_nodes_[level]) {
+      if (!let_.nodes[i].target) continue;
+      const auto list = let_.v.of(i);
+      if (list.empty()) continue;
+      slots_b_.push_back(i);
+      for (auto si : list)
+        if (slot_of_[si] < 0) {
+          slot_of_[si] = static_cast<std::int32_t>(slots_a_.size());
+          slots_a_.push_back(si);
+        }
+    }
+    if (slots_b_.empty()) continue;
+
+    const std::size_t nsrc = slots_a_.size();
+    const std::size_t ntgt = slots_b_.size();
+    const std::size_t nsc = nsrc * sd;  // source slot components
+    const std::size_t ntc = ntgt * td;  // target slot components
+
+    // Forward FFT of each unique source's padded equivalent densities
+    // into a contiguous volume, scattered to chunk-major slots.
+    spectra_.resize(nsc * vol);
+    for (std::size_t sl = 0; sl < nsrc; ++sl) {
+      const double* usrc = u_.data() + std::size_t(slots_a_[sl]) * elen;
+      for (int c = 0; c < sd; ++c) {
+        std::fill(line.begin(), line.end(), fft::Complex(0, 0));
+        for (int k = 0; k < m; ++k) line[embed[k]] = usrc[k * sd + c];
+        tables_.fft().forward(line);
+        const std::size_t comp = sl * sd + c;
+        for (std::size_t ci = 0; ci < nchunks; ++ci) {
+          fft::Complex* dst =
+              spectra_.data() + (ci * nsc + comp) * kFreqChunk;
+          const fft::Complex* src = line.data() + ci * kFreqChunk;
+          for (std::size_t q = 0; q < kFreqChunk; ++q) dst[q] = src[q];
+        }
+      }
+      ctx_.flops.add("eval.vli", sd * tables_.fft().transform_flops());
+    }
+
+    // All (target, source) pairs of the level, sorted by offset index.
+    pairs.clear();
+    for (std::size_t bj = 0; bj < ntgt; ++bj) {
+      const std::int32_t i = slots_b_[bj];
+      const LetNode& node = let_.nodes[i];
+      for (auto si : let_.v.of(i))
+        pairs.emplace_back(pair_offset_index(node, let_.nodes[si]),
+                           static_cast<std::int32_t>(bj), slot_of_[si]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+
+    // One operator fetch per offset run; each td x sd component of a
+    // run becomes an entry group sharing one spectrum component.
+    groups.clear();
+    fidx.clear();
+    aidx.clear();
+    for (std::size_t r0 = 0; r0 < pairs.size();) {
+      const int off = std::get<0>(pairs[r0]);
+      std::size_t r1 = r0;
+      while (r1 < pairs.size() && std::get<0>(pairs[r1]) == off) ++r1;
+      const std::size_t run = r1 - r0;
+      const auto g = tables_.m2l_spectra(level, off);
+      for (int ti = 0; ti < td; ++ti)
+        for (int sc = 0; sc < sd; ++sc) {
+          const std::size_t e0 = fidx.size();
+          for (std::size_t p = 0; p < run; ++p) {
+            const auto& pr = pairs[r0 + p];
+            fidx.push_back(std::get<2>(pr) * sd + sc);
+            aidx.push_back(std::get<1>(pr) * td + ti);
+          }
+          groups.push_back(
+              {g.data() + std::size_t(ti * sd + sc) * vol, e0, fidx.size()});
+        }
+      ctx_.flops.add("eval.vli", 8ull * td * sd * vol * run);
+      r0 = r1;
+    }
+
+    // Chunk-major diagonal-translation sweep. The operator slices are
+    // read straight from the volume-major m2l table (a contiguous
+    // kFreqChunk window per group per chunk).
+    fft_acc_.assign(ntc * vol, fft::Complex(0, 0));
+    const std::span<const std::int32_t> fidx_all(fidx);
+    const std::span<const std::int32_t> aidx_all(aidx);
+    for (std::size_t ci = 0; ci < nchunks; ++ci) {
+      const fft::Complex* fb = spectra_.data() + ci * nsc * kFreqChunk;
+      fft::Complex* ab = fft_acc_.data() + ci * ntc * kFreqChunk;
+      const std::size_t q0 = ci * kFreqChunk;
+      for (const RunGroup& grp : groups)
+        fft::pointwise_mac_chunked(
+            grp.g + q0, kFreqChunk, fb, ab,
+            fidx_all.subspan(grp.e0, grp.e1 - grp.e0),
+            aidx_all.subspan(grp.e0, grp.e1 - grp.e0));
+    }
+
+    // Per-target gather back to volume order, inverse transform, and
+    // surface extraction.
+    const LevelOps ops = tables_.at(level);
+    for (std::size_t bj = 0; bj < ntgt; ++bj) {
+      double* out = checkpot_.data() + std::size_t(slots_b_[bj]) * clen;
+      for (int ti = 0; ti < td; ++ti) {
+        const std::size_t comp = bj * td + ti;
+        for (std::size_t ci = 0; ci < nchunks; ++ci) {
+          const fft::Complex* src =
+              fft_acc_.data() + (ci * ntc + comp) * kFreqChunk;
+          fft::Complex* dst = line.data() + ci * kFreqChunk;
+          for (std::size_t q = 0; q < kFreqChunk; ++q) dst[q] = src[q];
+        }
+        tables_.fft().inverse(line);
+        for (int k = 0; k < m; ++k)
+          out[k * td + ti] += ops.m2l_scale * line[embed[k]].real();
+      }
+      ctx_.flops.add("eval.vli", td * tables_.fft().transform_flops());
+    }
+
+    for (auto si : slots_a_) slot_of_[si] = -1;  // reset for next level
   }
 }
 
@@ -280,7 +577,7 @@ void Evaluator::xli(bool include_leaves) {
     const auto list = let_.x.of(i);
     if (list.empty()) continue;
     const auto dc =
-        box_surface(tables_, tables_.options().down_check_radius, node.key);
+        box_surf(tables_.options().down_check_radius, node.key);
     std::span<double> out(checkpot_.data() + i * tables_.check_len(),
                           tables_.check_len());
     for (auto si : list) {
@@ -291,7 +588,9 @@ void Evaluator::xli(bool include_leaves) {
   }
 }
 
-void Evaluator::downward() {
+void Evaluator::downward() { batched() ? downward_batched() : downward_scalar(); }
+
+void Evaluator::downward_scalar() {
   // Preorder: parents are finalized before their children read them.
   for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
     const LetNode& node = let_.nodes[i];
@@ -317,6 +616,54 @@ void Evaluator::downward() {
   }
 }
 
+void Evaluator::downward_batched() {
+  // Coarsest level first: a level's check potentials receive L2L from
+  // already-finalized parent densities (one GEMM per child index), then
+  // ONE dc2de conversion finalizes the level's own densities.
+  const std::size_t elen = tables_.eq_len();
+  const std::size_t clen = tables_.check_len();
+  for (int level = min_level_; level <= max_level_; ++level) {
+    if (level_nodes_[level].empty()) continue;
+    if (level > min_level_) {
+      const LevelOps pair_ops = tables_.at(level - 1);
+      for (int ci = 0; ci < 8; ++ci) {
+        slots_a_.clear();  // parents
+        slots_b_.clear();  // children
+        for (auto i : level_nodes_[level]) {
+          const LetNode& node = let_.nodes[i];
+          if (!node.target || node.parent < 0) continue;
+          if (!let_.nodes[node.parent].target) continue;
+          if (morton::child_index(node.key) != ci) continue;
+          slots_a_.push_back(node.parent);
+          slots_b_.push_back(i);
+        }
+        if (slots_a_.empty()) continue;
+        const std::size_t nb = slots_a_.size();
+        const la::Matrix& l2l = (*pair_ops.l2l)[ci];
+        batch_in_.resize(elen * nb);
+        la::gather_columns(d_, slots_a_, elen, batch_in_);
+        batch_out_.assign(clen * nb, 0.0);
+        la::gemm_acc(l2l, batch_in_, batch_out_, nb, pair_ops.l2l_scale);
+        ctx_.flops.add("eval.down", la::gemm_flops(l2l, nb));
+        la::scatter_columns_acc(batch_out_, slots_b_, clen, checkpot_);
+      }
+    }
+
+    slots_a_.clear();
+    for (auto i : level_nodes_[level])
+      if (let_.nodes[i].target) slots_a_.push_back(i);
+    if (slots_a_.empty()) continue;
+    const std::size_t nb = slots_a_.size();
+    const LevelOps ops = tables_.at(level);
+    batch_in_.resize(clen * nb);
+    la::gather_columns(checkpot_, slots_a_, clen, batch_in_);
+    batch_out_.assign(elen * nb, 0.0);
+    la::gemm_acc(*ops.dc2de, batch_in_, batch_out_, nb, ops.dc2de_scale);
+    ctx_.flops.add("eval.down", la::gemm_flops(*ops.dc2de, nb));
+    la::scatter_columns_acc(batch_out_, slots_a_, elen, d_);
+  }
+}
+
 void Evaluator::wli() {
   const auto& kern = tables_.kernel();
   for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
@@ -327,8 +674,8 @@ void Evaluator::wli() {
     const auto trg = leaf_target_positions(node);
     auto out = leaf_target_potential(node);
     for (auto si : list) {
-      const auto ue = box_surface(
-          tables_, tables_.options().upward_equiv_radius, let_.nodes[si].key);
+      const auto ue = box_surf(tables_.options().upward_equiv_radius,
+                               let_.nodes[si].key);
       ctx_.flops.add(
           "eval.wli",
           kern.direct(trg, ue,
@@ -346,7 +693,7 @@ void Evaluator::d2t() {
     const LetNode& node = let_.nodes[i];
     if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
     const auto de =
-        box_surface(tables_, tables_.options().down_equiv_radius, node.key);
+        box_surf(tables_.options().down_equiv_radius, node.key);
     ctx_.flops.add(
         "eval.d2t",
         kern.direct(leaf_target_positions(node), de,
@@ -394,8 +741,8 @@ std::vector<double> Evaluator::target_gradient() {
     }
     // W-list: gradients of the members' upward equivalent fields.
     for (auto si : let_.w.of(i)) {
-      const auto ue = box_surface(
-          tables_, tables_.options().upward_equiv_radius, let_.nodes[si].key);
+      const auto ue = box_surf(tables_.options().upward_equiv_radius,
+                               let_.nodes[si].key);
       ctx_.flops.add(
           "grad.wli",
           grad->direct(trg, ue,
@@ -407,7 +754,7 @@ std::vector<double> Evaluator::target_gradient() {
     // Far field (V + X + coarser levels) through the box's downward
     // equivalent density.
     const auto de =
-        box_surface(tables_, tables_.options().down_equiv_radius, node.key);
+        box_surf(tables_.options().down_equiv_radius, node.key);
     ctx_.flops.add(
         "grad.d2t",
         grad->direct(trg, de,
@@ -422,12 +769,20 @@ std::vector<double> leaf_work_estimates(const Tables& tables,
                                         const octree::Let& let) {
   const std::uint64_t kflops = tables.kernel().flops_per_interaction();
   const int m = tables.m();
+  const double tf = static_cast<double>(tables.fft().transform_flops());
 
   // Source counts per node (targets and sources may differ per point).
   std::vector<double> nsrc(let.nodes.size(), 0.0);
   for (std::size_t i = 0; i < let.nodes.size(); ++i)
     for (const octree::PointRec& pt : let.points_of(let.nodes[i]))
       if (pt.is_source()) nsrc[i] += 1.0;
+
+  // Consumers per V-list source: the forward FFT of a source is computed
+  // once per level and shared by every target referencing it, so its
+  // cost is amortized over its consumers in the per-leaf weights.
+  std::vector<double> consumers(let.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < let.nodes.size(); ++i)
+    for (auto si : let.v.of(i)) consumers[si] += 1.0;
 
   std::vector<double> weights;
   for (std::size_t i = 0; i < let.nodes.size(); ++i) {
@@ -436,9 +791,14 @@ std::vector<double> leaf_work_estimates(const Tables& tables,
     const double ntrg = node.target_count;
     double w = 0.0;
     for (auto si : let.u.of(i)) w += ntrg * nsrc[si] * kflops;
-    // V: per-pair diagonal multiply on the padded grid.
-    w += double(let.v.of(i).size()) * 8.0 * tables.fft_volume() *
+    // V: per-pair diagonal multiply on the padded grid, plus the
+    // per-target inverse FFT and the amortized per-source forward FFTs.
+    const auto vlist = let.v.of(i);
+    w += double(vlist.size()) * 8.0 * tables.fft_volume() *
          tables.sdim() * tables.tdim();
+    if (!vlist.empty()) w += tables.tdim() * tf;
+    for (auto si : vlist)
+      w += tables.sdim() * tf / std::max(consumers[si], 1.0);
     w += double(let.w.of(i).size()) * ntrg * m * kflops;
     for (auto si : let.x.of(i)) w += nsrc[si] * m * kflops;
     // S2U + D2T per-leaf work.

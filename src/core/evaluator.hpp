@@ -14,14 +14,28 @@
 ///   f        — target potentials, aligned with Let::points
 ///              (points x tdim; valid for owned leaves)
 ///
+/// Each translation phase exists in two executions selected by
+/// FmmOptions::eval_mode (see DESIGN.md "Batched evaluation engine"):
+///   kScalar  — one gemv / pointwise_mac per octant or pair (reference)
+///   kBatched — level- and operator-blocked batches: U2U/L2L as one GEMM
+///              per (level, child index), uc2ue/dc2de as one GEMM per
+///              level, dense M2L as one GEMM per (level, offset), and
+///              the FFT V-list with flat level-sorted source spectra and
+///              (target, source) pairs sorted by translation offset so
+///              each operator spectrum is streamed over a contiguous run.
+/// Both modes account identical model flops into the same eval.* phases
+/// and agree on the outputs to rounding.
+///
 /// The V-list translation is either FFT-diagonal (per-octant forward
 /// FFTs batched by level, pointwise multiply per pair, inverse FFT per
 /// target — the paper's scheme) or dense (ablation baseline).
 
+#include <cstdint>
 #include <vector>
 
 #include "comm/comm.hpp"
 #include "core/reduce.hpp"
+#include "core/surface.hpp"
 #include "core/tables.hpp"
 #include "octree/let.hpp"
 
@@ -48,7 +62,7 @@ class Evaluator {
   std::vector<double> target_gradient();
 
   // Individual phases, public for focused tests and for the GPU engine
-  // which substitutes some of them.
+  // which substitutes some of them. Each dispatches on eval_mode.
   void s2u();
   void u2u();
   void comm_reduce();
@@ -77,6 +91,33 @@ class Evaluator {
   std::span<const double> leaf_target_positions(const octree::LetNode& n) const;
   std::span<double> leaf_target_potential(const octree::LetNode& n);
 
+  /// Materializes the surface of radius_scale around node's box into
+  /// surf_scratch_ (invalidated by the next call) — the allocation-free
+  /// replacement for building a surface vector per kernel call.
+  std::span<const double> box_surf(double radius_scale, const morton::Key& k);
+
+  /// V-list translation offset index of a (target, source) node pair.
+  int pair_offset_index(const octree::LetNode& tnode,
+                        const octree::LetNode& snode) const;
+
+  bool batched() const {
+    return tables_.options().eval_mode == EvalMode::kBatched;
+  }
+
+  // Per-octant reference implementations.
+  void s2u_scalar();
+  void u2u_scalar();
+  void vli_dense_scalar();
+  void vli_fft_scalar();
+  void downward_scalar();
+
+  // Level/operator-blocked implementations (identical flop accounting).
+  void s2u_batched();
+  void u2u_batched();
+  void vli_dense_batched();
+  void vli_fft_batched();
+  void downward_batched();
+
   const Tables& tables_;
   const octree::Let& let_;
   comm::RankCtx& ctx_;
@@ -85,6 +126,20 @@ class Evaluator {
   std::vector<double> pos_;                 ///< flattened Let::points coords
   std::vector<double> src_pos_, src_den_;   ///< per-node filtered sources
   std::vector<std::size_t> src_offset_;     ///< nodes+1, into src_pos_/3
+
+  SurfaceCache surf_;                       ///< unit surface template
+  std::vector<double> surf_scratch_;        ///< one materialized surface
+
+  /// Node indices grouped by octree level (node order within a level),
+  /// the grouping key of every batched phase.
+  int min_level_ = 0, max_level_ = -1;
+  std::vector<std::vector<std::int32_t>> level_nodes_;
+
+  // Batch scratch, reused across phases/levels (kept allocated).
+  std::vector<double> batch_in_, batch_out_, batch_tmp_;
+  std::vector<std::int32_t> slots_a_, slots_b_;
+  std::vector<fft::Complex> spectra_, fft_acc_;
+  std::vector<std::int32_t> slot_of_;       ///< node -> level source slot
 };
 
 /// Per-owned-leaf work estimates in model flops (paper §III-B: weights

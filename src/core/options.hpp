@@ -20,6 +20,12 @@ enum class ReduceMode {
   kOwner,      ///< per-octant owner reduction (the paper's *old* scheme)
 };
 
+/// How the per-rank evaluation pipeline is executed.
+enum class EvalMode {
+  kScalar,   ///< one gemv / pointwise_mac per octant or pair (reference)
+  kBatched,  ///< level- and operator-blocked GEMM/FFT batches (paper §IV-V)
+};
+
 struct FmmOptions {
   /// Surface lattice parameter n: equivalent/check surfaces carry
   /// n^3 - (n-2)^3 points. 4 = low accuracy, 6 = medium, 8 = high.
@@ -33,6 +39,11 @@ struct FmmOptions {
 
   M2lMode m2l = M2lMode::kFft;
   ReduceMode reduce = ReduceMode::kHypercube;
+
+  /// Batched (default) vs per-octant reference execution of the
+  /// evaluation pipeline. Both produce identical flop totals and agree
+  /// to rounding (see tests/test_eval_modes.cpp).
+  EvalMode eval_mode = EvalMode::kBatched;
 
   /// Work-weighted leaf repartitioning after the first LET build
   /// (paper §III-B). Disable for the ablation bench.

@@ -49,4 +49,27 @@ double surface_spacing(int n, double radius_scale, double half_width) {
   return 2.0 * radius_scale * half_width / static_cast<double>(n - 1);
 }
 
+SurfaceCache::SurfaceCache(int n) : count_(surface_point_count(n)) {
+  const auto& lattice = surface_lattice(n);
+  unit_.reserve(3 * lattice.size());
+  for (const auto& idx : lattice)
+    for (int d = 0; d < 3; ++d)
+      unit_.push_back(-1.0 + 2.0 * idx[d] / static_cast<double>(n - 1));
+}
+
+void SurfaceCache::materialize(double radius_scale,
+                               const std::array<double, 3>& center,
+                               double half_width,
+                               std::span<double> out) const {
+  PKIFMM_CHECK(out.size() == unit_.size());
+  const double r = radius_scale * half_width;
+  // center + r * unit matches surface_points bitwise: both compute
+  // center[d] + (radius_scale*half_width) * (-1 + 2 i/(n-1)).
+  for (std::size_t p = 0; p < unit_.size(); p += 3) {
+    out[p] = center[0] + r * unit_[p];
+    out[p + 1] = center[1] + r * unit_[p + 1];
+    out[p + 2] = center[2] + r * unit_[p + 2];
+  }
+}
+
 }  // namespace pkifmm::core

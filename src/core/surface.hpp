@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace pkifmm::core {
@@ -31,5 +32,27 @@ std::vector<double> surface_points(int n, double radius_scale,
 
 /// Lattice spacing of that surface: 2 * radius_scale * half_width / (n-1).
 double surface_spacing(int n, double radius_scale, double half_width);
+
+/// Allocation-free surface materialization: precomputes the unit surface
+/// template (the box-independent factor of surface_points) once, then
+/// writes per-box surfaces by scale+shift into caller-owned scratch.
+/// materialize() produces bitwise the same coordinates as
+/// surface_points(n, radius_scale, center, half_width).
+class SurfaceCache {
+ public:
+  explicit SurfaceCache(int n);
+
+  int count() const { return count_; }
+
+  /// Writes the 3*count() xyz-interleaved coordinates of the surface of
+  /// a box with the given center/half-width into out (must be sized
+  /// exactly 3*count()).
+  void materialize(double radius_scale, const std::array<double, 3>& center,
+                   double half_width, std::span<double> out) const;
+
+ private:
+  int count_;
+  std::vector<double> unit_;  ///< 3*count() values of -1 + 2 i/(n-1)
+};
 
 }  // namespace pkifmm::core

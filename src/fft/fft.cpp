@@ -1,5 +1,6 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <numbers>
@@ -53,6 +54,64 @@ void fft_inplace(std::span<Complex> a, bool inverse) {
 Fft3d::Fft3d(std::size_t n) : n_(n) {
   PKIFMM_CHECK_MSG(is_pow2(n), "Fft3d size must be a power of two, got " << n);
   log2n_ = std::countr_zero(n);
+
+  // Twiddle table, one block of len/2 factors per butterfly stage
+  // (forward sign; the inverse conjugates on the fly).
+  tw_.reserve(2 * (n > 1 ? n - 1 : 0));
+  for (std::size_t len = 2; len <= n; len <<= 1)
+    for (std::size_t j = 0; j < len / 2; ++j) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(j) / static_cast<double>(len);
+      tw_.push_back(std::cos(ang));
+      tw_.push_back(std::sin(ang));
+    }
+
+  rev_.resize(n);
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    rev_[i] = static_cast<std::uint32_t>(j);
+  }
+}
+
+void Fft3d::line_fft(Complex* a, bool inverse) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rev_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  // Butterflies on raw re/im pairs with table twiddles: no dependent
+  // w *= wlen chain and no Annex-G complex-multiply library calls.
+  double* ad = reinterpret_cast<double*>(a);
+  const double sgn = inverse ? -1.0 : 1.0;
+  std::size_t toff = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const double wr = tw_[2 * (toff + j)];
+        const double wi = sgn * tw_[2 * (toff + j) + 1];
+        const std::size_t ia = 2 * (i + j);
+        const std::size_t ib = ia + 2 * half;
+        const double br = ad[ib], bi = ad[ib + 1];
+        const double vr = br * wr - bi * wi;
+        const double vi = br * wi + bi * wr;
+        const double ur = ad[ia], ui = ad[ia + 1];
+        ad[ia] = ur + vr;
+        ad[ia + 1] = ui + vi;
+        ad[ib] = ur - vr;
+        ad[ib + 1] = ui - vi;
+      }
+    }
+    toff += half;
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < 2 * n; ++i) ad[i] *= inv;
+  }
 }
 
 void Fft3d::transform(std::span<Complex> vol, bool inverse) const {
@@ -63,13 +122,13 @@ void Fft3d::transform(std::span<Complex> vol, bool inverse) const {
   // x-lines are contiguous.
   for (std::size_t z = 0; z < n; ++z)
     for (std::size_t y = 0; y < n; ++y)
-      fft_inplace(vol.subspan((z * n + y) * n, n), inverse);
+      line_fft(vol.data() + (z * n + y) * n, inverse);
 
   // y-lines: stride n.
   for (std::size_t z = 0; z < n; ++z)
     for (std::size_t x = 0; x < n; ++x) {
       for (std::size_t y = 0; y < n; ++y) line[y] = vol[(z * n + y) * n + x];
-      fft_inplace(line, inverse);
+      line_fft(line.data(), inverse);
       for (std::size_t y = 0; y < n; ++y) vol[(z * n + y) * n + x] = line[y];
     }
 
@@ -77,7 +136,7 @@ void Fft3d::transform(std::span<Complex> vol, bool inverse) const {
   for (std::size_t y = 0; y < n; ++y)
     for (std::size_t x = 0; x < n; ++x) {
       for (std::size_t z = 0; z < n; ++z) line[z] = vol[(z * n + y) * n + x];
-      fft_inplace(line, inverse);
+      line_fft(line.data(), inverse);
       for (std::size_t z = 0; z < n; ++z) vol[(z * n + y) * n + x] = line[z];
     }
 }
@@ -102,6 +161,54 @@ void pointwise_mac(std::span<const Complex> g, std::span<const Complex> f,
                    std::span<Complex> acc) {
   PKIFMM_CHECK(g.size() == f.size() && f.size() == acc.size());
   for (std::size_t i = 0; i < g.size(); ++i) acc[i] += g[i] * f[i];
+}
+
+void pointwise_mac_many(std::span<const Complex> g,
+                        std::span<const Complex* const> fs,
+                        std::span<Complex* const> accs,
+                        std::size_t begin, std::size_t end) {
+  PKIFMM_CHECK(fs.size() == accs.size());
+  const std::size_t n = std::min(end, g.size());
+  const std::size_t npairs = fs.size();
+  // Chunk the window so the g slice stays resident across the pair loop.
+  constexpr std::size_t kChunk = 1024;
+  const double* gd = reinterpret_cast<const double*>(g.data());
+  for (std::size_t i0 = begin; i0 < n; i0 += kChunk) {
+    const std::size_t i1 = std::min(n, i0 + kChunk);
+    for (std::size_t p = 0; p < npairs; ++p) {
+      const double* fd = reinterpret_cast<const double*>(fs[p]);
+      double* ad = reinterpret_cast<double*>(accs[p]);
+      // Hand-rolled complex MAC (4 mul + 4 add per point, the 8-flop
+      // model) — avoids the __muldc3 Annex-G call so the loop
+      // vectorizes.
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double gr = gd[2 * i], gi = gd[2 * i + 1];
+        const double fr = fd[2 * i], fi = fd[2 * i + 1];
+        ad[2 * i] += gr * fr - gi * fi;
+        ad[2 * i + 1] += gr * fi + gi * fr;
+      }
+    }
+  }
+}
+
+void pointwise_mac_chunked(const Complex* g, std::size_t c,
+                           const Complex* f_base, Complex* acc_base,
+                           std::span<const std::int32_t> fidx,
+                           std::span<const std::int32_t> aidx) {
+  PKIFMM_CHECK(fidx.size() == aidx.size());
+  const double* gd = reinterpret_cast<const double*>(g);
+  for (std::size_t e = 0; e < fidx.size(); ++e) {
+    const double* fd =
+        reinterpret_cast<const double*>(f_base + std::size_t(fidx[e]) * c);
+    double* ad =
+        reinterpret_cast<double*>(acc_base + std::size_t(aidx[e]) * c);
+    for (std::size_t i = 0; i < c; ++i) {
+      const double gr = gd[2 * i], gi = gd[2 * i + 1];
+      const double fr = fd[2 * i], fi = fd[2 * i + 1];
+      ad[2 * i] += gr * fr - gi * fi;
+      ad[2 * i + 1] += gr * fi + gi * fr;
+    }
+  }
 }
 
 }  // namespace pkifmm::fft

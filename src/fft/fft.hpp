@@ -42,9 +42,15 @@ class Fft3d {
 
  private:
   void transform(std::span<Complex> vol, bool inverse) const;
+  /// One contiguous n-element line, using the precomputed twiddle and
+  /// bit-reversal tables (raw re/im butterflies — no libcall-per-
+  /// multiply complex arithmetic).
+  void line_fft(Complex* a, bool inverse) const;
 
   std::size_t n_;
   int log2n_;
+  std::vector<double> tw_;          ///< per-stage twiddles (forward sign)
+  std::vector<std::uint32_t> rev_;  ///< bit-reversal permutation
 };
 
 /// Smallest power of two >= x.
@@ -55,5 +61,36 @@ std::size_t next_pow2(std::size_t x);
 /// runs on the GPU.
 void pointwise_mac(std::span<const Complex> g, std::span<const Complex> f,
                    std::span<Complex> acc);
+
+/// Applies ONE translation spectrum g to MANY source/accumulator pairs:
+/// accs[p][i] += g[i] * fs[p][i] for every pair p and every frequency
+/// index i in [begin, min(end, g.size())). Equivalent to fs.size() calls
+/// of pointwise_mac with the same g, but blocked so each chunk of g is
+/// loaded once per block of pairs — the batched form of the paper's
+/// diagonal translation (V-list pairs sorted by offset share their
+/// operator). The window parameters let a caller sweep the frequency
+/// axis OUTSIDE a loop over many such groups, keeping every volume's
+/// active chunk cache-resident across the groups (see
+/// core::Evaluator::vli_fft_batched). fs and accs must have equal
+/// length; every volume must have g.size() elements.
+void pointwise_mac_many(std::span<const Complex> g,
+                        std::span<const Complex* const> fs,
+                        std::span<Complex* const> accs,
+                        std::size_t begin = 0,
+                        std::size_t end = std::size_t(-1));
+
+/// One frequency chunk of the chunk-major V-list sweep: entry e does
+/// acc_base[aidx[e]*c + i] += g[i] * f_base[fidx[e]*c + i] for
+/// i in [0, c). Callers store spectra and accumulators chunk-major
+/// (all slots' values for one c-frequency chunk contiguous), so a
+/// sweep with the chunk loop OUTSIDE the entry loop touches only
+/// c complex values per referenced slot — the whole level's diagonal
+/// translation runs out of L2 instead of re-streaming full volumes
+/// per pair (see core::Evaluator::vli_fft_batched). fidx and aidx
+/// must have equal length.
+void pointwise_mac_chunked(const Complex* g, std::size_t c,
+                           const Complex* f_base, Complex* acc_base,
+                           std::span<const std::int32_t> fidx,
+                           std::span<const std::int32_t> aidx);
 
 }  // namespace pkifmm::fft

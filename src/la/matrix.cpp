@@ -1,5 +1,6 @@
 #include "la/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace pkifmm::la {
@@ -21,11 +22,14 @@ void gemv_acc(const Matrix& a, std::span<const double> x,
               std::span<double> y, double alpha) {
   PKIFMM_CHECK(x.size() == a.cols() && y.size() == a.rows());
   const std::size_t n = a.cols();
+  // alpha scales each term (not the finished sum) so the rounding
+  // matches gemm_acc and the batched engine reproduces this reference
+  // path as closely as reordering allows (see tests/test_eval_modes).
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const double* row = a.data() + r * n;
     double acc = 0.0;
-    for (std::size_t c = 0; c < n; ++c) acc += row[c] * x[c];
-    y[r] += alpha * acc;
+    for (std::size_t c = 0; c < n; ++c) acc += (alpha * row[c]) * x[c];
+    y[r] += acc;
   }
 }
 
@@ -48,6 +52,55 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
     }
   }
   return c;
+}
+
+void gemm_acc(const Matrix& a, std::span<const double> b,
+              std::span<double> c, std::size_t ncols, double alpha) {
+  PKIFMM_CHECK(b.size() == a.cols() * ncols && c.size() == a.rows() * ncols);
+  if (ncols == 0 || a.empty()) return;
+  // Tile the k (reduction) and j (batch-column) dimensions so the B
+  // panel stays in cache while every row of A streams over it; the
+  // inner loop is contiguous in both B and C.
+  constexpr std::size_t kKBlock = 64;
+  constexpr std::size_t kJBlock = 128;
+  for (std::size_t j0 = 0; j0 < ncols; j0 += kJBlock) {
+    const std::size_t j1 = std::min(ncols, j0 + kJBlock);
+    for (std::size_t k0 = 0; k0 < a.cols(); k0 += kKBlock) {
+      const std::size_t k1 = std::min(a.cols(), k0 + kKBlock);
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double* arow = a.data() + i * a.cols();
+        double* crow = c.data() + i * ncols;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aik = alpha * arow[k];
+          if (aik == 0.0) continue;
+          const double* brow = b.data() + k * ncols;
+          for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gather_columns(std::span<const double> src,
+                    std::span<const std::int32_t> slots, std::size_t len,
+                    std::span<double> dst) {
+  const std::size_t nb = slots.size();
+  PKIFMM_CHECK(dst.size() == len * nb);
+  for (std::size_t j = 0; j < nb; ++j) {
+    const double* col = src.data() + std::size_t(slots[j]) * len;
+    for (std::size_t r = 0; r < len; ++r) dst[r * nb + j] = col[r];
+  }
+}
+
+void scatter_columns_acc(std::span<const double> src,
+                         std::span<const std::int32_t> slots, std::size_t len,
+                         std::span<double> dst) {
+  const std::size_t nb = slots.size();
+  PKIFMM_CHECK(src.size() == len * nb);
+  for (std::size_t j = 0; j < nb; ++j) {
+    double* col = dst.data() + std::size_t(slots[j]) * len;
+    for (std::size_t r = 0; r < len; ++r) col[r] += src[r * nb + j];
+  }
 }
 
 Matrix gemm_tn(const Matrix& a, const Matrix& b) {

@@ -9,6 +9,7 @@
 /// precision; the GPU path re-implements its kernels in float.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -76,6 +77,27 @@ void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
 /// C = A B.
 Matrix gemm(const Matrix& a, const Matrix& b);
 
+/// C += alpha * A B for row-major operands held in flat spans:
+/// B is (a.cols() x ncols), C is (a.rows() x ncols). Cache-tiled over
+/// the k and column dimensions; the batched-evaluation workhorse
+/// (one call applies a translation operator to ncols octants at once).
+void gemm_acc(const Matrix& a, std::span<const double> b,
+              std::span<double> c, std::size_t ncols, double alpha = 1.0);
+
+/// Gathers per-node vectors into the column-major batch layout gemm_acc
+/// consumes: dst[r*slots.size() + j] = src[slots[j]*len + r]. `src` is
+/// a node-major state vector (len values per node), `slots` the node
+/// indices forming the batch.
+void gather_columns(std::span<const double> src,
+                    std::span<const std::int32_t> slots, std::size_t len,
+                    std::span<double> dst);
+
+/// Inverse of gather_columns with accumulation:
+/// dst[slots[j]*len + r] += src[r*slots.size() + j].
+void scatter_columns_acc(std::span<const double> src,
+                         std::span<const std::int32_t> slots, std::size_t len,
+                         std::span<double> dst);
+
 /// C = A^T B.
 Matrix gemm_tn(const Matrix& a, const Matrix& b);
 
@@ -85,6 +107,12 @@ Matrix identity(std::size_t n);
 /// Number of flops in one gemv_acc application (2 per matrix entry).
 inline std::uint64_t gemv_flops(const Matrix& a) {
   return 2ull * a.rows() * a.cols();
+}
+
+/// Number of flops in one gemm_acc application: exactly ncols gemvs, so
+/// batched and per-node execution account identically.
+inline std::uint64_t gemm_flops(const Matrix& a, std::size_t ncols) {
+  return 2ull * a.rows() * a.cols() * ncols;
 }
 
 }  // namespace pkifmm::la

@@ -180,6 +180,64 @@ TEST(PointwiseMac, Accumulates) {
   EXPECT_EQ(acc[1], Complex(6, 0));
 }
 
+TEST(PointwiseMacMany, MatchesRepeatedPointwiseMac) {
+  const std::size_t n = 64, npairs = 5;
+  const auto g = random_signal(n, 201);
+  std::vector<std::vector<Complex>> fs, accs, ref;
+  for (std::size_t p = 0; p < npairs; ++p) {
+    fs.push_back(random_signal(n, 300 + p));
+    accs.push_back(random_signal(n, 400 + p));
+    ref.push_back(accs.back());
+    pointwise_mac(g, fs.back(), ref.back());
+  }
+  std::vector<const Complex*> fptr;
+  std::vector<Complex*> aptr;
+  for (std::size_t p = 0; p < npairs; ++p) {
+    fptr.push_back(fs[p].data());
+    aptr.push_back(accs[p].data());
+  }
+  pointwise_mac_many(g, fptr, aptr);
+  for (std::size_t p = 0; p < npairs; ++p)
+    EXPECT_LT(max_err(accs[p], ref[p]), 1e-14) << "pair " << p;
+}
+
+TEST(PointwiseMacMany, WindowTouchesOnlyRange) {
+  const std::size_t n = 32;
+  const auto g = random_signal(n, 210);
+  auto f = random_signal(n, 211);
+  auto acc = random_signal(n, 212);
+  const auto before = acc;
+  const Complex* fp = f.data();
+  Complex* ap = acc.data();
+  const std::size_t begin = 8, end = 24;
+  pointwise_mac_many(g, {&fp, 1}, {&ap, 1}, begin, end);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex want = (i >= begin && i < end)
+                             ? before[i] + g[i] * f[i]
+                             : before[i];
+    EXPECT_LT(std::abs(acc[i] - want), 1e-14) << i;
+  }
+}
+
+TEST(PointwiseMacChunked, MatchesPerEntryMac) {
+  // Chunk-major layout: slot s's frequencies [q0, q0+c) live at
+  // base + s*c. Each (fidx, aidx) entry is one translation applied to
+  // one chunk; duplicates must accumulate.
+  const std::size_t c = 16, nf = 6, na = 4;
+  const auto g = random_signal(c, 220);
+  const auto f = random_signal(c * nf, 221);
+  auto acc = random_signal(c * na, 222);
+  auto ref = acc;
+  const std::vector<std::int32_t> fidx = {0, 5, 2, 5};
+  const std::vector<std::int32_t> aidx = {3, 0, 3, 1};
+  for (std::size_t e = 0; e < fidx.size(); ++e)
+    for (std::size_t i = 0; i < c; ++i)
+      ref[std::size_t(aidx[e]) * c + i] +=
+          g[i] * f[std::size_t(fidx[e]) * c + i];
+  pointwise_mac_chunked(g.data(), c, f.data(), acc.data(), fidx, aidx);
+  EXPECT_LT(max_err(acc, ref), 1e-14);
+}
+
 TEST(Fft3d, TransformFlopsPositiveAndScales) {
   Fft3d a(8), b(16);
   EXPECT_GT(a.transform_flops(), 0u);

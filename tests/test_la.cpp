@@ -69,6 +69,80 @@ TEST(Matrix, GemvFlopsFormula) {
   EXPECT_EQ(gemv_flops(a), 400u);
 }
 
+TEST(Matrix, GemmAccMatchesColumnwiseGemvAcc) {
+  // gemm_acc over a node-major batch must agree with applying gemv_acc
+  // to every column; sizes straddle the internal k/j tile boundaries.
+  const std::size_t m = 152, n = 152, nb = 150;
+  const Matrix a = random_matrix(m, n, 31);
+  Rng rng(32);
+  std::vector<double> b(n * nb), c(m * nb, 0.5), ref(m * nb, 0.5);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const double alpha = 0.75;
+
+  gemm_acc(a, b, c, nb, alpha);
+
+  std::vector<double> x(n), y(m);
+  for (std::size_t j = 0; j < nb; ++j) {
+    for (std::size_t r = 0; r < n; ++r) x[r] = b[r * nb + j];
+    std::fill(y.begin(), y.end(), 0.0);
+    gemv_acc(a, x, y, alpha);
+    for (std::size_t r = 0; r < m; ++r) ref[r * nb + j] += y[r];
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    err = std::max(err, std::abs(c[i] - ref[i]));
+  EXPECT_LT(err, 1e-12);
+}
+
+TEST(Matrix, GemmAccEmptyBatchIsNoOp) {
+  const Matrix a = random_matrix(4, 4, 33);
+  std::vector<double> c;
+  gemm_acc(a, {}, c, 0);  // must not touch memory or throw
+}
+
+TEST(Matrix, GemmFlopsCountsBatchColumns) {
+  const Matrix a(10, 20);
+  EXPECT_EQ(gemm_flops(a, 7), 7u * gemv_flops(a));
+}
+
+TEST(Matrix, GatherScatterColumnsRoundTrip) {
+  // Node-major storage (slot-strided) -> batch columns -> back.
+  const std::size_t len = 5, nslots = 8;
+  Rng rng(34);
+  std::vector<double> storage(len * nslots);
+  for (auto& v : storage) v = rng.uniform(-1.0, 1.0);
+  const std::vector<std::int32_t> slots = {6, 0, 3};
+
+  std::vector<double> batch(len * slots.size());
+  gather_columns(storage, slots, len, batch);
+  for (std::size_t j = 0; j < slots.size(); ++j)
+    for (std::size_t r = 0; r < len; ++r)
+      EXPECT_EQ(batch[r * slots.size() + j],
+                storage[std::size_t(slots[j]) * len + r]);
+
+  auto acc = storage;
+  scatter_columns_acc(batch, slots, len, acc);
+  for (std::size_t s = 0; s < nslots; ++s) {
+    const bool picked = s == 6 || s == 0 || s == 3;
+    for (std::size_t r = 0; r < len; ++r)
+      EXPECT_DOUBLE_EQ(acc[s * len + r],
+                       (picked ? 2.0 : 1.0) * storage[s * len + r]);
+  }
+}
+
+TEST(Matrix, ScatterColumnsAccDuplicateSlotsAccumulate) {
+  const std::size_t len = 3;
+  const std::vector<std::int32_t> slots = {1, 1};
+  const std::vector<double> batch = {1.0, 10.0,   // row 0 of both columns
+                                     2.0, 20.0,   // row 1
+                                     3.0, 30.0};  // row 2
+  std::vector<double> dst(len * 2, 0.0);
+  scatter_columns_acc(batch, slots, len, dst);
+  EXPECT_DOUBLE_EQ(dst[3], 11.0);
+  EXPECT_DOUBLE_EQ(dst[4], 22.0);
+  EXPECT_DOUBLE_EQ(dst[5], 33.0);
+}
+
 TEST(Svd, ReconstructsSquareMatrix) {
   const Matrix a = random_matrix(12, 12, 5);
   const Svd s = svd(a);

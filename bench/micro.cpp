@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "obs/json.hpp"
 #include "octree/build.hpp"
 #include "util/rng.hpp"
+#include "util/task_pool.hpp"
 
 namespace {
 
@@ -221,6 +225,53 @@ void BM_TreeConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeConstruction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+void BM_TaskPoolParallelFor(benchmark::State& state) {
+  // Scaling of the evaluator's workhorse primitive over worker counts
+  // (arg 0 = pool workers; the caller lane always participates, so
+  // "0 workers" is the inline serial baseline). Registered for the
+  // worker counts implied by --threads=K: {0, 1, K-1}.
+  const int workers = static_cast<int>(state.range(0));
+  util::TaskPool pool(workers);
+  const std::size_t n = 1 << 16;
+  std::vector<double> out(n, 0.0);
+  for (auto _ : state) {
+    pool.parallel_for(n, 1024,
+                      [&](std::size_t b, std::size_t e, int) {
+                        for (std::size_t i = b; i < e; ++i)
+                          out[i] = std::sqrt(static_cast<double>(i) + 1.5);
+                      });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["workers"] = workers;
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_GemmBatchParallel(benchmark::State& state) {
+  // The evaluator's gemm_batched shape: one surface operator applied to
+  // a column batch, the columns split across pool lanes exactly as
+  // core::Evaluator splits them (gemm_acc_cols windows of 64 columns).
+  // Bitwise identical to the serial gemm_acc for every worker count.
+  const int workers = static_cast<int>(state.range(0));
+  const std::size_t nb = 256;
+  util::TaskPool pool(workers);
+  Rng rng(11);
+  la::Matrix a(152, 152);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) a(r, c) = rng.uniform(-1, 1);
+  std::vector<double> b(a.cols() * nb), acc(a.rows() * nb);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    pool.parallel_for(nb, 64, [&](std::size_t c0, std::size_t c1, int) {
+      la::gemm_acc_cols(a, b, acc, nb, c0, c1, 0.5);
+    });
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.counters["workers"] = workers;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(la::gemm_flops(a, nb)));
+}
+
 /// Console reporting plus machine-readable capture for the perf-gate
 /// artifacts (the other benches' --metrics-out analog; google-benchmark
 /// owns the timing loop here, so the capture rides on the reporter).
@@ -251,18 +302,40 @@ class MetricsReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   // google-benchmark rejects flags it does not know, so peel off
-  // --metrics-out before handing argv over.
+  // --metrics-out and --threads before handing argv over.
   std::string metrics_path;
+  int threads = 4;
   std::vector<char*> args;
   constexpr std::string_view kFlag = "--metrics-out=";
+  constexpr std::string_view kThreads = "--threads=";
   for (int i = 0; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a.rfind(kFlag, 0) == 0) {
       metrics_path = std::string(a.substr(kFlag.size()));
       continue;
     }
+    if (a.rfind(kThreads, 0) == 0) {
+      threads = std::max(1, std::atoi(std::string(a.substr(kThreads.size()))
+                                          .c_str()));
+      continue;
+    }
     args.push_back(argv[i]);
   }
+
+  // The pool-scaling benches sweep worker counts up to --threads=K
+  // (K threads per rank means K-1 pool workers next to the caller).
+  std::vector<int> workers = {0, 1, threads - 1};
+  std::sort(workers.begin(), workers.end());
+  workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+  for (const int w : workers) {
+    if (w < 0) continue;
+    benchmark::RegisterBenchmark("BM_TaskPoolParallelFor",
+                                 BM_TaskPoolParallelFor)
+        ->Arg(w);
+    benchmark::RegisterBenchmark("BM_GemmBatchParallel", BM_GemmBatchParallel)
+        ->Arg(w);
+  }
+
   int nargs = static_cast<int>(args.size());
   benchmark::Initialize(&nargs, args.data());
   if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1;

@@ -1,8 +1,11 @@
 #include "comm/comm.hpp"
 
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+
+#include "util/task_pool.hpp"
 
 namespace pkifmm::comm {
 
@@ -76,8 +79,11 @@ obs::RankMetrics snapshot_with_counters(const RankCtx& ctx) {
   return m;
 }
 
-std::vector<RankReport> Runtime::run(
-    int nranks, const std::function<void(RankCtx&)>& fn) {
+namespace {
+
+/// Shared SPMD driver; pool_workers < 0 means "no per-rank pool".
+std::vector<RankReport> run_impl(int nranks, int pool_workers,
+                                 const std::function<void(RankCtx&)>& fn) {
   PKIFMM_CHECK(nranks >= 1);
   Fabric fabric(nranks);
   obs::Registry registry;  // per-run, per-rank scoped recorders
@@ -96,6 +102,11 @@ std::vector<RankReport> Runtime::run(
     flops.bind(&rec);
     Comm comm(fabric, rank, nranks, cost);
     RankCtx ctx{comm, timer, flops, rec};
+    std::unique_ptr<util::TaskPool> pool;
+    if (pool_workers >= 0) {
+      pool = std::make_unique<util::TaskPool>(pool_workers);
+      ctx.pool = pool.get();
+    }
     try {
       fn(ctx);
     } catch (...) {
@@ -107,6 +118,8 @@ std::vector<RankReport> Runtime::run(
     }
     // Publish the flat maps as canonical obs counters (naming scheme
     // documented in obs/export.hpp) so one snapshot carries everything.
+    if (pool) pool->fold_stats(rec);  // any scheduler residue since the
+                                      // evaluator's own fold
     RankReport& rep = reports[rank];
     rep.obs = rec.snapshot();
     rep.obs.gauges["obs.epoch"] = rec.epoch();
@@ -133,6 +146,21 @@ std::vector<RankReport> Runtime::run(
     std::rethrow_exception(first_error);
   }
   return reports;
+}
+
+}  // namespace
+
+std::vector<RankReport> Runtime::run(
+    int nranks, const std::function<void(RankCtx&)>& fn) {
+  return run_impl(nranks, /*pool_workers=*/-1, fn);
+}
+
+std::vector<RankReport> Runtime::run(
+    int nranks, int threads_per_rank, bool clamp,
+    const std::function<void(RankCtx&)>& fn) {
+  const int workers =
+      util::recommended_workers(threads_per_rank, nranks, clamp) - 1;
+  return run_impl(nranks, workers, fn);
 }
 
 }  // namespace pkifmm::comm

@@ -30,6 +30,10 @@
 #include "util/flops.hpp"
 #include "util/timer.hpp"
 
+namespace pkifmm::util {
+class TaskPool;
+}  // namespace pkifmm::util
+
 namespace pkifmm::comm {
 
 /// Communicator bound to one rank of a Runtime::run invocation.
@@ -210,6 +214,11 @@ struct RankCtx {
   PhaseTimer& timer;
   FlopCounter& flops;
   obs::Recorder& rec;
+  /// Intra-rank worker pool, set by the Runtime::run overload that
+  /// takes a threads_per_rank. Null when the caller did not ask for
+  /// intra-rank parallelism; core::Evaluator then sizes its own pool
+  /// from FmmOptions::threads_per_rank.
+  util::TaskPool* pool = nullptr;
 
   int rank() const { return comm.rank(); }
   int size() const { return comm.size(); }
@@ -242,6 +251,16 @@ obs::RankMetrics snapshot_with_counters(const RankCtx& ctx);
 class Runtime {
  public:
   static std::vector<RankReport> run(int nranks,
+                                     const std::function<void(RankCtx&)>& fn);
+
+  /// Same, but also gives every rank a util::TaskPool with
+  /// `threads_per_rank - 1` worker threads (the rank thread itself is
+  /// the pool's lane 0), exposed as RankCtx::pool. The request is
+  /// clamped against hardware_concurrency() unless `clamp = false`
+  /// (see util::recommended_workers). Pool scheduler statistics are
+  /// folded into each rank's recorder before reports are built.
+  static std::vector<RankReport> run(int nranks, int threads_per_rank,
+                                     bool clamp,
                                      const std::function<void(RankCtx&)>& fn);
 };
 

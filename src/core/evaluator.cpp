@@ -1,6 +1,7 @@
 #include "core/evaluator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <tuple>
 #include <unordered_map>
@@ -53,6 +54,31 @@ Evaluator::Evaluator(const Tables& tables, const octree::Let& let,
       level_nodes_[let_.nodes[i].key.level].push_back(
           static_cast<std::int32_t>(i));
   }
+
+  // Worker pool: prefer the Runtime-provided per-rank pool; otherwise
+  // own one sized from the options (0 workers when threads_per_rank is
+  // 1 — an inline executor with no thread or synchronization cost).
+  if (ctx.pool != nullptr) {
+    pool_ = ctx.pool;
+  } else {
+    const FmmOptions& opts = tables_.options();
+    owned_pool_ = std::make_unique<util::TaskPool>(
+        util::recommended_workers(opts.threads_per_rank, ctx.size(),
+                                  opts.clamp_threads) -
+        1);
+    pool_ = owned_pool_.get();
+  }
+  lane_surf_.resize(std::size_t(pool_->lanes()) * 3 * surf_.count());
+}
+
+Evaluator::~Evaluator() {
+  if (uli_started_) {
+    try {
+      pool_->wait(uli_group_);
+    } catch (...) {
+      // Unwinding already; the wait only exists so no task outlives us.
+    }
+  }
 }
 
 std::span<const double> Evaluator::leaf_source_positions(
@@ -87,6 +113,26 @@ std::span<const double> Evaluator::box_surf(double radius_scale,
   return surf_scratch_;
 }
 
+std::span<const double> Evaluator::box_surf(double radius_scale, const Key& k,
+                                            int lane) {
+  const auto g = morton::box_geometry(k);
+  const std::size_t len = std::size_t(3) * surf_.count();
+  std::span<double> out(lane_surf_.data() + std::size_t(lane) * len, len);
+  surf_.materialize(radius_scale, g.center, g.half_width, out);
+  return out;
+}
+
+void Evaluator::gemm_batched(const la::Matrix& m, std::size_t ncols,
+                             double scale, const char* phase) {
+  pool_->parallel_for(
+      ncols, kColGrain,
+      [&](std::size_t c0, std::size_t c1, int) {
+        la::gemm_acc_cols(m, batch_in_, batch_out_, ncols, c0, c1, scale);
+      },
+      phase);
+  ctx_.flops.add(phase, la::gemm_flops(m, ncols));
+}
+
 int Evaluator::pair_offset_index(const LetNode& tnode,
                                  const LetNode& snode) const {
   const auto ta = morton::anchor(tnode.key);
@@ -99,6 +145,11 @@ int Evaluator::pair_offset_index(const LetNode& tnode,
 }
 
 void Evaluator::run() {
+  // ULI ‖ {S2U, U2U, comm, VLI, XLI, down, WLI, D2T}: the direct
+  // interactions depend on nothing upstream, so they start now and the
+  // workers execute them whenever no far-field chunk is runnable —
+  // including while the rank thread blocks in the reduce-scatter.
+  uli_start();
   {
     auto t = ctx_.timer.scope("eval.s2u");
     s2u();
@@ -133,8 +184,9 @@ void Evaluator::run() {
   }
   {
     auto t = ctx_.timer.scope("eval.uli");
-    uli();
+    uli_join();
   }
+  pool_->fold_stats(ctx_.rec);
 }
 
 void Evaluator::s2u() { batched() ? s2u_batched() : s2u_scalar(); }
@@ -176,28 +228,36 @@ void Evaluator::s2u_batched() {
     if (slots_a_.empty()) continue;
     const std::size_t nb = slots_a_.size();
 
-    // Per-leaf upward-check potentials into node-major scratch...
+    // Per-leaf upward-check potentials into node-major scratch, chunks
+    // writing disjoint rows...
     batch_tmp_.assign(nb * clen, 0.0);
-    for (std::size_t j = 0; j < nb; ++j) {
-      const std::int32_t i = slots_a_[j];
-      const auto uc =
-          box_surf(tables_.options().upward_check_radius, let_.nodes[i].key);
-      ctx_.flops.add(
-          "eval.s2u",
-          kern.direct(uc, leaf_source_positions(i), leaf_source_densities(i),
-                      std::span<double>(batch_tmp_.data() + j * clen, clen)));
-    }
+    std::atomic<std::uint64_t> flops{0};
+    pool_->parallel_for(
+        nb, kNodeGrain,
+        [&](std::size_t b, std::size_t e, int lane) {
+          std::uint64_t local = 0;
+          for (std::size_t j = b; j < e; ++j) {
+            const std::int32_t i = slots_a_[j];
+            const auto uc = box_surf(tables_.options().upward_check_radius,
+                                     let_.nodes[i].key, lane);
+            local += kern.direct(
+                uc, leaf_source_positions(i), leaf_source_densities(i),
+                std::span<double>(batch_tmp_.data() + j * clen, clen));
+          }
+          flops.fetch_add(local, std::memory_order_relaxed);
+        },
+        "eval.s2u");
+    ctx_.flops.add("eval.s2u", flops.load(std::memory_order_relaxed));
 
     // ...transposed to batch columns, then ONE uc2ue application for
-    // the whole level.
+    // the whole level (column-windowed over the pool).
     slots_b_.resize(nb);
     std::iota(slots_b_.begin(), slots_b_.end(), 0);
     batch_in_.resize(clen * nb);
     la::gather_columns(batch_tmp_, slots_b_, clen, batch_in_);
     const LevelOps ops = tables_.at(level);
     batch_out_.assign(elen * nb, 0.0);
-    la::gemm_acc(*ops.uc2ue, batch_in_, batch_out_, nb, ops.uc2ue_scale);
-    ctx_.flops.add("eval.s2u", la::gemm_flops(*ops.uc2ue, nb));
+    gemm_batched(*ops.uc2ue, nb, ops.uc2ue_scale, "eval.s2u");
     la::scatter_columns_acc(batch_out_, slots_a_, elen, u_);
   }
 }
@@ -250,8 +310,7 @@ void Evaluator::u2u_batched() {
       batch_in_.resize(elen * nb);
       la::gather_columns(u_, slots_a_, elen, batch_in_);
       batch_out_.assign(elen * nb, 0.0);
-      la::gemm_acc(m, batch_in_, batch_out_, nb);
-      ctx_.flops.add("eval.u2u", la::gemm_flops(m, nb));
+      gemm_batched(m, nb, 1.0, "eval.u2u");
       la::scatter_columns_acc(batch_out_, slots_b_, elen, u_);
     }
   }
@@ -325,8 +384,7 @@ void Evaluator::vli_dense_batched() {
       batch_in_.resize(elen * nb);
       la::gather_columns(u_, slots_a_, elen, batch_in_);
       batch_out_.assign(clen * nb, 0.0);
-      la::gemm_acc(m, batch_in_, batch_out_, nb, ops.m2l_scale);
-      ctx_.flops.add("eval.vli", la::gemm_flops(m, nb));
+      gemm_batched(m, nb, ops.m2l_scale, "eval.vli");
       la::scatter_columns_acc(batch_out_, slots_b_, clen, checkpot_);
       r0 = r1;
     }
@@ -445,7 +503,9 @@ void Evaluator::vli_fft_batched() {
   };
   std::vector<RunGroup> groups;
   std::vector<std::int32_t> fidx, aidx;
-  std::vector<fft::Complex> line(vol);  // one volume, embed/extract order
+  // One embed/extract-order volume per pool lane: the forward and
+  // inverse transform chunks each use their executing lane's line.
+  lane_line_.assign(std::size_t(pool_->lanes()) * vol, fft::Complex(0, 0));
 
   for (int level = min_level_; level <= max_level_; ++level) {
     // Targets with V-interactions at this level, and the flat slot
@@ -471,24 +531,36 @@ void Evaluator::vli_fft_batched() {
     const std::size_t ntc = ntgt * td;  // target slot components
 
     // Forward FFT of each unique source's padded equivalent densities
-    // into a contiguous volume, scattered to chunk-major slots.
+    // into a contiguous volume, scattered to chunk-major slots. Each
+    // chunk of slots owns disjoint spectra_ components.
     spectra_.resize(nsc * vol);
-    for (std::size_t sl = 0; sl < nsrc; ++sl) {
-      const double* usrc = u_.data() + std::size_t(slots_a_[sl]) * elen;
-      for (int c = 0; c < sd; ++c) {
-        std::fill(line.begin(), line.end(), fft::Complex(0, 0));
-        for (int k = 0; k < m; ++k) line[embed[k]] = usrc[k * sd + c];
-        tables_.fft().forward(line);
-        const std::size_t comp = sl * sd + c;
-        for (std::size_t ci = 0; ci < nchunks; ++ci) {
-          fft::Complex* dst =
-              spectra_.data() + (ci * nsc + comp) * kFreqChunk;
-          const fft::Complex* src = line.data() + ci * kFreqChunk;
-          for (std::size_t q = 0; q < kFreqChunk; ++q) dst[q] = src[q];
-        }
-      }
-      ctx_.flops.add("eval.vli", sd * tables_.fft().transform_flops());
-    }
+    std::atomic<std::uint64_t> fwd_flops{0};
+    pool_->parallel_for(
+        nsrc, kFftSlotGrain,
+        [&](std::size_t b, std::size_t e, int lane) {
+          const std::span<fft::Complex> line(
+              lane_line_.data() + std::size_t(lane) * vol, vol);
+          std::uint64_t local = 0;
+          for (std::size_t sl = b; sl < e; ++sl) {
+            const double* usrc = u_.data() + std::size_t(slots_a_[sl]) * elen;
+            for (int c = 0; c < sd; ++c) {
+              std::fill(line.begin(), line.end(), fft::Complex(0, 0));
+              for (int k = 0; k < m; ++k) line[embed[k]] = usrc[k * sd + c];
+              tables_.fft().forward(line);
+              const std::size_t comp = sl * sd + c;
+              for (std::size_t ci = 0; ci < nchunks; ++ci) {
+                fft::Complex* dst =
+                    spectra_.data() + (ci * nsc + comp) * kFreqChunk;
+                const fft::Complex* src = line.data() + ci * kFreqChunk;
+                for (std::size_t q = 0; q < kFreqChunk; ++q) dst[q] = src[q];
+              }
+            }
+            local += sd * tables_.fft().transform_flops();
+          }
+          fwd_flops.fetch_add(local, std::memory_order_relaxed);
+        },
+        "eval.vli");
+    ctx_.flops.add("eval.vli", fwd_flops.load(std::memory_order_relaxed));
 
     // All (target, source) pairs of the level, sorted by offset index.
     pairs.clear();
@@ -533,36 +605,55 @@ void Evaluator::vli_fft_batched() {
     fft_acc_.assign(ntc * vol, fft::Complex(0, 0));
     const std::span<const std::int32_t> fidx_all(fidx);
     const std::span<const std::int32_t> aidx_all(aidx);
-    for (std::size_t ci = 0; ci < nchunks; ++ci) {
-      const fft::Complex* fb = spectra_.data() + ci * nsc * kFreqChunk;
-      fft::Complex* ab = fft_acc_.data() + ci * ntc * kFreqChunk;
-      const std::size_t q0 = ci * kFreqChunk;
-      for (const RunGroup& grp : groups)
-        fft::pointwise_mac_chunked(
-            grp.g + q0, kFreqChunk, fb, ab,
-            fidx_all.subspan(grp.e0, grp.e1 - grp.e0),
-            aidx_all.subspan(grp.e0, grp.e1 - grp.e0));
-    }
+    // Frequency chunks write disjoint fft_acc_ windows, so the chunk
+    // axis parallelizes with no change to per-element MAC order.
+    pool_->parallel_for(
+        nchunks, kFreqChunkGrain,
+        [&](std::size_t cb, std::size_t ce, int) {
+          for (std::size_t ci = cb; ci < ce; ++ci) {
+            const fft::Complex* fb = spectra_.data() + ci * nsc * kFreqChunk;
+            fft::Complex* ab = fft_acc_.data() + ci * ntc * kFreqChunk;
+            const std::size_t q0 = ci * kFreqChunk;
+            for (const RunGroup& grp : groups)
+              fft::pointwise_mac_chunked(
+                  grp.g + q0, kFreqChunk, fb, ab,
+                  fidx_all.subspan(grp.e0, grp.e1 - grp.e0),
+                  aidx_all.subspan(grp.e0, grp.e1 - grp.e0));
+          }
+        },
+        "eval.vli");
 
     // Per-target gather back to volume order, inverse transform, and
-    // surface extraction.
+    // surface extraction; each chunk of targets owns disjoint
+    // checkpot_ rows.
     const LevelOps ops = tables_.at(level);
-    for (std::size_t bj = 0; bj < ntgt; ++bj) {
-      double* out = checkpot_.data() + std::size_t(slots_b_[bj]) * clen;
-      for (int ti = 0; ti < td; ++ti) {
-        const std::size_t comp = bj * td + ti;
-        for (std::size_t ci = 0; ci < nchunks; ++ci) {
-          const fft::Complex* src =
-              fft_acc_.data() + (ci * ntc + comp) * kFreqChunk;
-          fft::Complex* dst = line.data() + ci * kFreqChunk;
-          for (std::size_t q = 0; q < kFreqChunk; ++q) dst[q] = src[q];
-        }
-        tables_.fft().inverse(line);
-        for (int k = 0; k < m; ++k)
-          out[k * td + ti] += ops.m2l_scale * line[embed[k]].real();
-      }
-      ctx_.flops.add("eval.vli", td * tables_.fft().transform_flops());
-    }
+    std::atomic<std::uint64_t> inv_flops{0};
+    pool_->parallel_for(
+        ntgt, kFftSlotGrain,
+        [&](std::size_t b, std::size_t e, int lane) {
+          const std::span<fft::Complex> line(
+              lane_line_.data() + std::size_t(lane) * vol, vol);
+          std::uint64_t local = 0;
+          for (std::size_t bj = b; bj < e; ++bj) {
+            double* out = checkpot_.data() + std::size_t(slots_b_[bj]) * clen;
+            for (int ti = 0; ti < td; ++ti) {
+              const std::size_t comp = bj * td + ti;
+              for (std::size_t ci = 0; ci < nchunks; ++ci) {
+                const fft::Complex* src =
+                    fft_acc_.data() + (ci * ntc + comp) * kFreqChunk;
+                fft::Complex* dst = line.data() + ci * kFreqChunk;
+                for (std::size_t q = 0; q < kFreqChunk; ++q) dst[q] = src[q];
+              }
+              tables_.fft().inverse(line);
+              for (int k = 0; k < m; ++k)
+                out[k * td + ti] += ops.m2l_scale * line[embed[k]].real();
+            }
+            local += td * tables_.fft().transform_flops();
+          }
+          inv_flops.fetch_add(local, std::memory_order_relaxed);
+        },
+        "eval.vli");
+    ctx_.flops.add("eval.vli", inv_flops.load(std::memory_order_relaxed));
 
     for (auto si : slots_a_) slot_of_[si] = -1;  // reset for next level
   }
@@ -570,22 +661,29 @@ void Evaluator::vli_fft_batched() {
 
 void Evaluator::xli(bool include_leaves) {
   const auto& kern = tables_.kernel();
-  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
-    const LetNode& node = let_.nodes[i];
-    if (!node.target) continue;
-    if (!include_leaves && node.global_leaf) continue;
-    const auto list = let_.x.of(i);
-    if (list.empty()) continue;
-    const auto dc =
-        box_surf(tables_.options().down_check_radius, node.key);
-    std::span<double> out(checkpot_.data() + i * tables_.check_len(),
-                          tables_.check_len());
-    for (auto si : list) {
-      ctx_.flops.add("eval.xli",
-                     kern.direct(dc, leaf_source_positions(si),
-                                 leaf_source_densities(si), out));
-    }
-  }
+  const std::size_t clen = tables_.check_len();
+  std::atomic<std::uint64_t> flops{0};
+  pool_->parallel_for(
+      let_.nodes.size(), kNodeGrain,
+      [&](std::size_t b, std::size_t e, int lane) {
+        std::uint64_t local = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          const LetNode& node = let_.nodes[i];
+          if (!node.target) continue;
+          if (!include_leaves && node.global_leaf) continue;
+          const auto list = let_.x.of(i);
+          if (list.empty()) continue;
+          const auto dc =
+              box_surf(tables_.options().down_check_radius, node.key, lane);
+          std::span<double> out(checkpot_.data() + i * clen, clen);
+          for (auto si : list)
+            local += kern.direct(dc, leaf_source_positions(si),
+                                 leaf_source_densities(si), out);
+        }
+        flops.fetch_add(local, std::memory_order_relaxed);
+      },
+      "eval.xli");
+  ctx_.flops.add("eval.xli", flops.load(std::memory_order_relaxed));
 }
 
 void Evaluator::downward() { batched() ? downward_batched() : downward_scalar(); }
@@ -643,8 +741,7 @@ void Evaluator::downward_batched() {
         batch_in_.resize(elen * nb);
         la::gather_columns(d_, slots_a_, elen, batch_in_);
         batch_out_.assign(clen * nb, 0.0);
-        la::gemm_acc(l2l, batch_in_, batch_out_, nb, pair_ops.l2l_scale);
-        ctx_.flops.add("eval.down", la::gemm_flops(l2l, nb));
+        gemm_batched(l2l, nb, pair_ops.l2l_scale, "eval.down");
         la::scatter_columns_acc(batch_out_, slots_b_, clen, checkpot_);
       }
     }
@@ -658,64 +755,122 @@ void Evaluator::downward_batched() {
     batch_in_.resize(clen * nb);
     la::gather_columns(checkpot_, slots_a_, clen, batch_in_);
     batch_out_.assign(elen * nb, 0.0);
-    la::gemm_acc(*ops.dc2de, batch_in_, batch_out_, nb, ops.dc2de_scale);
-    ctx_.flops.add("eval.down", la::gemm_flops(*ops.dc2de, nb));
+    gemm_batched(*ops.dc2de, nb, ops.dc2de_scale, "eval.down");
     la::scatter_columns_acc(batch_out_, slots_a_, elen, d_);
   }
 }
 
 void Evaluator::wli() {
   const auto& kern = tables_.kernel();
-  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
-    const LetNode& node = let_.nodes[i];
-    if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
-    const auto list = let_.w.of(i);
-    if (list.empty()) continue;
-    const auto trg = leaf_target_positions(node);
-    auto out = leaf_target_potential(node);
-    for (auto si : list) {
-      const auto ue = box_surf(tables_.options().upward_equiv_radius,
-                               let_.nodes[si].key);
-      ctx_.flops.add(
-          "eval.wli",
-          kern.direct(trg, ue,
-                      std::span<const double>(
-                          u_.data() + std::size_t(si) * tables_.eq_len(),
-                          tables_.eq_len()),
-                      out));
-    }
-  }
+  const std::size_t elen = tables_.eq_len();
+  std::atomic<std::uint64_t> flops{0};
+  pool_->parallel_for(
+      let_.nodes.size(), kNodeGrain,
+      [&](std::size_t b, std::size_t e, int lane) {
+        std::uint64_t local = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          const LetNode& node = let_.nodes[i];
+          if (!(node.owned && node.global_leaf) || node.target_count == 0)
+            continue;
+          const auto list = let_.w.of(i);
+          if (list.empty()) continue;
+          const auto trg = leaf_target_positions(node);
+          auto out = leaf_target_potential(node);
+          for (auto si : list) {
+            const auto ue = box_surf(tables_.options().upward_equiv_radius,
+                                     let_.nodes[si].key, lane);
+            local += kern.direct(
+                trg, ue,
+                std::span<const double>(u_.data() + std::size_t(si) * elen,
+                                        elen),
+                out);
+          }
+        }
+        flops.fetch_add(local, std::memory_order_relaxed);
+      },
+      "eval.wli");
+  ctx_.flops.add("eval.wli", flops.load(std::memory_order_relaxed));
 }
 
 void Evaluator::d2t() {
   const auto& kern = tables_.kernel();
-  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
-    const LetNode& node = let_.nodes[i];
-    if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
-    const auto de =
-        box_surf(tables_.options().down_equiv_radius, node.key);
-    ctx_.flops.add(
-        "eval.d2t",
-        kern.direct(leaf_target_positions(node), de,
-                    std::span<const double>(d_.data() + i * tables_.eq_len(),
-                                            tables_.eq_len()),
-                    leaf_target_potential(node)));
-  }
+  const std::size_t elen = tables_.eq_len();
+  std::atomic<std::uint64_t> flops{0};
+  pool_->parallel_for(
+      let_.nodes.size(), kNodeGrain,
+      [&](std::size_t b, std::size_t e, int lane) {
+        std::uint64_t local = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          const LetNode& node = let_.nodes[i];
+          if (!(node.owned && node.global_leaf) || node.target_count == 0)
+            continue;
+          const auto de =
+              box_surf(tables_.options().down_equiv_radius, node.key, lane);
+          local += kern.direct(
+              leaf_target_positions(node), de,
+              std::span<const double>(d_.data() + i * elen, elen),
+              leaf_target_potential(node));
+        }
+        flops.fetch_add(local, std::memory_order_relaxed);
+      },
+      "eval.d2t");
+  ctx_.flops.add("eval.d2t", flops.load(std::memory_order_relaxed));
 }
 
 void Evaluator::uli() {
+  if (!uli_started_) uli_start();
+  uli_join();
+}
+
+void Evaluator::uli_start() {
+  PKIFMM_CHECK(!uli_started_);
+  uli_started_ = true;
+  f_uli_.assign(f_.size(), 0.0);
+  uli_flops_.store(0, std::memory_order_relaxed);
+  uli_w0_ = obs::wall_seconds();
+  const std::size_t n = let_.nodes.size();
+  for (std::size_t b = 0; b < n; b += kNodeGrain) {
+    const std::size_t e = std::min(n, b + kNodeGrain);
+    pool_->submit(uli_group_, "eval.uli",
+                  [this, b, e](int lane) { uli_chunk(b, e, lane); });
+  }
+}
+
+void Evaluator::uli_chunk(std::size_t b, std::size_t e, int /*lane*/) {
   const auto& kern = tables_.kernel();
-  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+  const int td = tables_.tdim();
+  std::uint64_t local = 0;
+  for (std::size_t i = b; i < e; ++i) {
     const LetNode& node = let_.nodes[i];
     if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
     const auto trg = leaf_target_positions(node);
-    auto out = leaf_target_potential(node);
-    for (auto si : let_.u.of(i)) {
-      ctx_.flops.add("eval.uli",
-                     kern.direct(trg, leaf_source_positions(si),
-                                 leaf_source_densities(si), out));
-    }
+    std::span<double> out(f_uli_.data() + std::size_t(node.point_begin) * td,
+                          std::size_t(node.target_count) * td);
+    for (auto si : let_.u.of(i))
+      local += kern.direct(trg, leaf_source_positions(si),
+                           leaf_source_densities(si), out);
   }
+  uli_flops_.fetch_add(local, std::memory_order_relaxed);
+}
+
+void Evaluator::uli_join() {
+  PKIFMM_CHECK(uli_started_);
+  const double join0 = obs::wall_seconds();
+  pool_->wait(uli_group_);
+  uli_started_ = false;
+  ctx_.flops.add("eval.uli", uli_flops_.load(std::memory_order_relaxed));
+  // Deterministic merge: ULI contributions were summed per target in
+  // the serial per-node order inside f_uli_ regardless of which lane
+  // ran which chunk, so f_ is identical for any worker count.
+  for (std::size_t k = 0; k < f_.size(); ++k) f_[k] += f_uli_[k];
+  // Overlap accounting: busy = total ULI execution time on any lane
+  // since submission; overlap = the part that ran before the join
+  // started, i.e. concurrently with the far-field pipeline.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double busy = pool_->busy_overlap("eval.uli", uli_w0_, inf);
+  const double overlap = pool_->busy_overlap("eval.uli", uli_w0_, join0);
+  ctx_.rec.counter_add("sched.uli.busy_seconds", busy);
+  ctx_.rec.counter_add("sched.uli.overlap_seconds", overlap);
 }
 
 std::vector<double> Evaluator::target_gradient() {

@@ -29,8 +29,24 @@
 /// The V-list translation is either FFT-diagonal (per-octant forward
 /// FFTs batched by level, pointwise multiply per pair, inverse FFT per
 /// target — the paper's scheme) or dense (ablation baseline).
+///
+/// Intra-rank parallelism (paper §V's per-node concurrency, on CPU
+/// workers): every batched hot loop — per-leaf kernel evaluations,
+/// batch-GEMM column windows, per-frequency-chunk V-list MACs, per-node
+/// direct phases (ULI/XLI/WLI/D2T) — runs as util::TaskPool chunks over
+/// pre-assigned disjoint output ranges, so results are identical for
+/// any FmmOptions::threads_per_rank (see the pool's determinism
+/// contract and tests/test_eval_threads.cpp). run() additionally
+/// exploits Algorithm 1's phase independence: the U-list direct
+/// interactions start as background tasks before S2U and execute on
+/// the workers concurrently with the whole far-field pipeline —
+/// including the reduce-scatter's communication wait — accumulating
+/// into a private buffer that is merged into f right before the run
+/// ends ("eval.uli" then measures only join + merge).
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -38,12 +54,16 @@
 #include "core/surface.hpp"
 #include "core/tables.hpp"
 #include "octree/let.hpp"
+#include "util/task_pool.hpp"
 
 namespace pkifmm::core {
 
 class Evaluator {
  public:
   Evaluator(const Tables& tables, const octree::Let& let, comm::RankCtx& ctx);
+  /// Joins any still-pending background ULI tasks (exception unwind
+  /// path) so no task outlives the buffers it writes.
+  ~Evaluator();
 
   /// Runs the full pipeline with per-phase timing/flop accounting.
   void run();
@@ -95,6 +115,10 @@ class Evaluator {
   /// surf_scratch_ (invalidated by the next call) — the allocation-free
   /// replacement for building a surface vector per kernel call.
   std::span<const double> box_surf(double radius_scale, const morton::Key& k);
+  /// Same, into lane-private scratch — the variant every TaskPool chunk
+  /// uses so concurrent chunks never share a surface buffer.
+  std::span<const double> box_surf(double radius_scale, const morton::Key& k,
+                                   int lane);
 
   /// V-list translation offset index of a (target, source) node pair.
   int pair_offset_index(const octree::LetNode& tnode,
@@ -118,6 +142,21 @@ class Evaluator {
   void vli_fft_batched();
   void downward_batched();
 
+  // ULI ‖ far-field overlap: uli_start() submits the per-node-range
+  // U-list chunks as background pool tasks writing f_uli_; uli_join()
+  // waits, folds the flops, merges f_ += f_uli_, and records the
+  // overlap metrics. The public uli() is start-then-join (inline when
+  // the pool has no workers).
+  void uli_start();
+  void uli_join();
+  void uli_chunk(std::size_t b, std::size_t e, int lane);
+
+  /// One gemm_acc over `ncols` batch columns, split into disjoint
+  /// column windows over the pool (bitwise identical to the unsplit
+  /// call; see la::gemm_acc_cols).
+  void gemm_batched(const la::Matrix& m, std::size_t ncols, double scale,
+                    const char* phase);
+
   const Tables& tables_;
   const octree::Let& let_;
   comm::RankCtx& ctx_;
@@ -140,6 +179,26 @@ class Evaluator {
   std::vector<std::int32_t> slots_a_, slots_b_;
   std::vector<fft::Complex> spectra_, fft_acc_;
   std::vector<std::int32_t> slot_of_;       ///< node -> level source slot
+
+  // Intra-rank scheduling. pool_ is ctx.pool when the Runtime provided
+  // one, else owned_pool_ sized from FmmOptions::threads_per_rank.
+  // Chunk grains are constants so the chunk decomposition — and with it
+  // the output — never depends on the worker count.
+  static constexpr std::size_t kNodeGrain = 16;  ///< nodes per direct chunk
+  static constexpr std::size_t kColGrain = 64;   ///< GEMM columns per chunk
+  static constexpr std::size_t kFftSlotGrain = 4;   ///< fwd/inv FFTs per chunk
+  static constexpr std::size_t kFreqChunkGrain = 2; ///< V-list chunks per task
+  std::unique_ptr<util::TaskPool> owned_pool_;
+  util::TaskPool* pool_ = nullptr;
+  std::vector<double> lane_surf_;        ///< lanes x 3*surf count
+  std::vector<fft::Complex> lane_line_;  ///< lanes x fft volume
+
+  // Background-ULI state (see uli_start/uli_join).
+  std::vector<double> f_uli_;            ///< ULI-only potentials
+  util::TaskPool::Group uli_group_;
+  std::atomic<std::uint64_t> uli_flops_{0};
+  bool uli_started_ = false;
+  double uli_w0_ = 0.0;                  ///< overlap window start
 };
 
 /// Per-owned-leaf work estimates in model flops (paper §III-B: weights

@@ -66,7 +66,11 @@ class ParallelFmm {
   /// traffic is excluded from the summary it produces), and every rank
   /// aggregates them, so all ranks hold the identical document — the
   /// MPI-style pattern where any rank can write summary.json. Null
-  /// before the first evaluate().
+  /// before the first evaluate(). With threads_per_rank > 1 the
+  /// evaluator folds its task pool's `sched.*` counters and per-worker
+  /// burst spans into the rank snapshot before the gather, so the
+  /// summary carries worker busy-fractions and the ULI overlap
+  /// accounting (rendered by tools/pkifmm_report).
   const obs::Json& summary() const { return summary_; }
 
  private:

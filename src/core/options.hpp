@@ -45,6 +45,19 @@ struct FmmOptions {
   /// to rounding (see tests/test_eval_modes.cpp).
   EvalMode eval_mode = EvalMode::kBatched;
 
+  /// Intra-rank worker threads for the batched evaluation phases
+  /// (paper §V's per-node parallelism, on CPU workers). 1 = serial
+  /// (no pool threads, zero synchronization cost). Results are
+  /// identical for any value — see util/task_pool.hpp's determinism
+  /// contract and tests/test_eval_threads.cpp.
+  int threads_per_rank = 1;
+
+  /// Clamp threads_per_rank so threads_per_rank * nranks stays within
+  /// hardware_concurrency() (simulated-rank threads and pool workers
+  /// would otherwise thrash each other). Tests that need real
+  /// interleaving on small CI boxes set this to false.
+  bool clamp_threads = true;
+
   /// Work-weighted leaf repartitioning after the first LET build
   /// (paper §III-B). Disable for the ablation bench.
   bool load_balance = true;

@@ -16,6 +16,13 @@
 ///    rank that collects partials, sums, and sends the result to every
 ///    user. Near-root octants have O(p) users, which is exactly why
 ///    this collapsed at 64K processes; kept as the ablation baseline.
+///
+/// Both schemes block the rank thread on point-to-point receives. With
+/// threads_per_rank > 1 that wait is not idle: the Evaluator submits
+/// the U-list to its util::TaskPool before the upward pass, so pool
+/// workers execute direct interactions throughout the reduction rounds
+/// (DESIGN.md §5d — the paper hides the same latency behind its async
+/// GPU ULI kernels).
 
 #include <span>
 

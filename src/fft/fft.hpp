@@ -25,6 +25,12 @@ void fft_inplace(std::span<Complex> a, bool inverse);
 /// Plan-like object for n x n x n complex transforms (n a power of two).
 /// Precomputes twiddle factors; forward/inverse operate in place on a
 /// volume stored as v[(z*n + y)*n + x].
+///
+/// Thread-safety contract: after construction a plan is immutable —
+/// forward/inverse only read the twiddle/bit-reversal tables and write
+/// the caller's volume. core::Evaluator relies on this to run FFT slots
+/// on util::TaskPool lanes concurrently against ONE shared plan (each
+/// lane transforming its own scratch volume).
 class Fft3d {
  public:
   explicit Fft3d(std::size_t n);

@@ -28,6 +28,12 @@
 namespace pkifmm::kernels {
 
 /// Interface for translation-invariant interaction kernels K(x - y).
+///
+/// Thread-safety contract: kernel instances are stateless after
+/// construction, so every const method — direct() in particular — may
+/// run concurrently from util::TaskPool lanes against one shared
+/// instance, provided the callers' potential spans are disjoint. The
+/// evaluator's parallel ULI/WLI/XLI/D2T tiles depend on this.
 class Kernel {
  public:
   virtual ~Kernel() = default;

@@ -56,15 +56,24 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
 
 void gemm_acc(const Matrix& a, std::span<const double> b,
               std::span<double> c, std::size_t ncols, double alpha) {
+  gemm_acc_cols(a, b, c, ncols, 0, ncols, alpha);
+}
+
+void gemm_acc_cols(const Matrix& a, std::span<const double> b,
+                   std::span<double> c, std::size_t ncols, std::size_t col0,
+                   std::size_t col1, double alpha) {
   PKIFMM_CHECK(b.size() == a.cols() * ncols && c.size() == a.rows() * ncols);
-  if (ncols == 0 || a.empty()) return;
+  PKIFMM_CHECK(col0 <= col1 && col1 <= ncols);
+  if (col0 == col1 || a.empty()) return;
   // Tile the k (reduction) and j (batch-column) dimensions so the B
   // panel stays in cache while every row of A streams over it; the
-  // inner loop is contiguous in both B and C.
+  // inner loop is contiguous in both B and C. Every c[i][j] sums its
+  // k terms in the same order for any column window, which is what
+  // makes the parallel column split exact.
   constexpr std::size_t kKBlock = 64;
   constexpr std::size_t kJBlock = 128;
-  for (std::size_t j0 = 0; j0 < ncols; j0 += kJBlock) {
-    const std::size_t j1 = std::min(ncols, j0 + kJBlock);
+  for (std::size_t j0 = col0; j0 < col1; j0 += kJBlock) {
+    const std::size_t j1 = std::min(col1, j0 + kJBlock);
     for (std::size_t k0 = 0; k0 < a.cols(); k0 += kKBlock) {
       const std::size_t k1 = std::min(a.cols(), k0 + kKBlock);
       for (std::size_t i = 0; i < a.rows(); ++i) {

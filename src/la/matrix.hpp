@@ -84,6 +84,15 @@ Matrix gemm(const Matrix& a, const Matrix& b);
 void gemm_acc(const Matrix& a, std::span<const double> b,
               std::span<double> c, std::size_t ncols, double alpha = 1.0);
 
+/// gemm_acc restricted to batch columns [col0, col1) of the same
+/// (a.cols() x ncols) B and (a.rows() x ncols) C panels. Each output
+/// column's reduction order is independent of the column blocking, so
+/// splitting a gemm_acc into disjoint windows (util::TaskPool chunks)
+/// reproduces the unsplit result bitwise.
+void gemm_acc_cols(const Matrix& a, std::span<const double> b,
+                   std::span<double> c, std::size_t ncols, std::size_t col0,
+                   std::size_t col1, double alpha = 1.0);
+
 /// Gathers per-node vectors into the column-major batch layout gemm_acc
 /// consumes: dst[r*slots.size() + j] = src[slots[j]*len + r]. `src` is
 /// a node-major state vector (len values per node), `slots` the node

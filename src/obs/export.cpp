@@ -1,6 +1,7 @@
 #include "obs/export.hpp"
 
 #include <cmath>
+#include <set>
 
 namespace pkifmm::obs {
 
@@ -41,6 +42,7 @@ Json span_to_json(const SpanEvent& e) {
   out.set("bytes", static_cast<std::int64_t>(e.bytes));
   out.set("parent", static_cast<std::int64_t>(e.parent));
   out.set("depth", static_cast<std::int64_t>(e.depth));
+  out.set("tid", static_cast<std::int64_t>(e.tid));
   return out;
 }
 
@@ -107,6 +109,10 @@ SpanEvent json_to_span(const Json& obj) {
   e.bytes = static_cast<std::uint64_t>(obj.at("bytes").as_int());
   e.parent = static_cast<std::int32_t>(obj.at("parent").as_int());
   e.depth = static_cast<std::int32_t>(obj.at("depth").as_int());
+  // tid is optional: documents written before the TaskPool worker spans
+  // existed carry only the rank thread (tid 0).
+  if (obj.contains("tid"))
+    e.tid = static_cast<std::int32_t>(obj.at("tid").as_int());
   return e;
 }
 
@@ -186,22 +192,30 @@ Json chrome_trace_json(const std::vector<RankMetrics>& ranks) {
     pmeta.set("args", std::move(pargs));
     events.push_back(std::move(pmeta));
 
-    Json meta = Json::object();
-    meta.set("name", "thread_name");
-    meta.set("ph", "M");
-    meta.set("pid", static_cast<std::int64_t>(rm.rank));
-    meta.set("tid", std::int64_t{0});
-    Json margs = Json::object();
-    margs.set("name", "rank " + std::to_string(rm.rank));
-    meta.set("args", std::move(margs));
-    events.push_back(std::move(meta));
+    // One *thread* row per intra-rank tid: tid 0 is the rank thread,
+    // tids >= 1 are the TaskPool worker lanes whose burst spans were
+    // folded in via Recorder::record_span.
+    std::set<std::int32_t> tids{0};
+    for (const SpanEvent& e : rm.spans) tids.insert(e.tid);
+    for (const std::int32_t tid : tids) {
+      Json meta = Json::object();
+      meta.set("name", "thread_name");
+      meta.set("ph", "M");
+      meta.set("pid", static_cast<std::int64_t>(rm.rank));
+      meta.set("tid", static_cast<std::int64_t>(tid));
+      Json margs = Json::object();
+      margs.set("name", tid == 0 ? "rank " + std::to_string(rm.rank)
+                                 : "worker " + std::to_string(tid));
+      meta.set("args", std::move(margs));
+      events.push_back(std::move(meta));
+    }
 
     for (const SpanEvent& e : rm.spans) {
       Json ev = Json::object();
       ev.set("name", e.name);
       ev.set("ph", "X");
       ev.set("pid", static_cast<std::int64_t>(rm.rank));
-      ev.set("tid", std::int64_t{0});
+      ev.set("tid", static_cast<std::int64_t>(e.tid));
       ev.set("ts", (epoch + e.start) * 1e6);  // microseconds
       ev.set("dur", e.wall * 1e6);
       Json args = Json::object();

@@ -91,6 +91,8 @@ struct SpanEvent {
   std::uint64_t bytes = 0;   ///< bytes sent while the span was open
   std::int32_t parent = -1;  ///< index into the same spans vector
   std::int32_t depth = 0;    ///< 0 = top-level
+  std::int32_t tid = 0;      ///< intra-rank thread: 0 = rank thread,
+                             ///< k >= 1 = TaskPool worker lane k
 };
 
 /// Copyable snapshot of everything one rank recorded.
@@ -189,6 +191,12 @@ class Recorder {
   };
 
   Span span(std::string name) { return Span(*this, std::move(name)); }
+
+  /// Appends an externally measured span (e.g. a TaskPool worker burst
+  /// folded in after the fact). The event is stored as given — no
+  /// attribution deltas, no parent linking — so callers must set start
+  /// relative to epoch() themselves. Call from the owning rank thread.
+  void record_span(SpanEvent e) { metrics_.spans.push_back(std::move(e)); }
 
   // --- snapshot ----------------------------------------------------
   const RankMetrics& metrics() const { return metrics_; }

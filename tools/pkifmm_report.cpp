@@ -9,7 +9,12 @@
 ///      summary derives from cross-rank span timelines),
 ///   2. the top-k phases by wall-time imbalance (max/avg across
 ///      ranks) — where to look first when scaling stalls,
-///   3. an ASCII heatmap of the per-phase communication matrix
+///   3. the intra-rank scheduler (only when `sched.*` counters are
+///      present, i.e. the run drove a util::TaskPool): per-worker-lane
+///      busy fraction over the pool lifetime plus the ULI overlap
+///      efficiency — what fraction of the U-list direct work executed
+///      concurrently with the far-field pipeline,
+///   4. an ASCII heatmap of the per-phase communication matrix
 ///      (row = sender, column = receiver), the traffic-shape evidence
 ///      behind the paper's Algorithm 2/3 claims.
 ///
@@ -152,7 +157,46 @@ int main(int argc, char** argv) {
   std::printf("Top-%zu phases by wall-time imbalance (max/avg):\n%s\n",
               ranked.size(), imbalance.str().c_str());
 
-  // --- 3. Communication-matrix heatmaps.
+  // --- 3. Intra-rank scheduler, when the run drove a task pool.
+  const obs::Json& metrics = doc.at("metrics");
+  std::vector<std::string> lanes;  // "sched.busy.w<k>" keys, lane order
+  for (const std::string& key : metrics.keys())
+    if (key.rfind("sched.busy.w", 0) == 0) lanes.push_back(key);
+  std::sort(lanes.begin(), lanes.end(),
+            [](const std::string& a, const std::string& b) {
+              return std::stoi(a.substr(12)) < std::stoi(b.substr(12));
+            });
+  if (!lanes.empty()) {
+    const double lifetime =
+        metrics.at("sched.lifetime_seconds").at("sum").as_double();
+    std::printf(
+        "Intra-rank scheduler (%s tasks, %s steals across ranks):\n",
+        sci(metrics.at("sched.tasks").at("sum").as_double()).c_str(),
+        sci(metrics.at("sched.steals").at("sum").as_double()).c_str());
+    Table sched({"Lane", "Busy (s)", "Busy frac", "Bar"});
+    for (const std::string& key : lanes) {
+      const double busy = metrics.at(key).at("sum").as_double();
+      const double frac = lifetime > 0.0 ? busy / lifetime : 0.0;
+      const std::string lane = key.substr(12);
+      sched.add_row({lane == "0" ? "0 (rank thread)" : lane, sci(busy),
+                     fixed(frac), bar(frac, 1.0, 16)});
+    }
+    std::printf("%s", sched.str().c_str());
+    if (metrics.contains("sched.uli.busy_seconds")) {
+      const double uli_busy =
+          metrics.at("sched.uli.busy_seconds").at("sum").as_double();
+      const double uli_overlap =
+          metrics.at("sched.uli.overlap_seconds").at("sum").as_double();
+      std::printf(
+          "ULI overlap efficiency: %.2f (%s of %s ULI-busy seconds ran\n"
+          "concurrently with the far-field V/X/W + downward pipeline)\n",
+          uli_busy > 0.0 ? uli_overlap / uli_busy : 0.0, sci(uli_overlap).c_str(),
+          sci(uli_busy).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // --- 4. Communication-matrix heatmaps.
   const obs::Json& matrices = doc.at("comm_matrix");
   std::printf("Communication matrices:\n");
   bool printed = false;

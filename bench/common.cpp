@@ -7,28 +7,33 @@
 #include <set>
 
 #include "obs/aggregate.hpp"
+#include "obs/hw.hpp"
+#include "obs/trend.hpp"
 
 namespace pkifmm::bench {
 
 namespace {
 
 /// Process-wide metrics log behind --metrics-out/--trace-out/
-/// --summary-out. Written at exit so sweeps with many run_fmm calls
-/// land in one file.
+/// --summary-out/--history-out. Written at exit so sweeps with many
+/// run_fmm calls land in one file (one appended history line).
 struct MetricsLog {
   std::string bench;
   std::string metrics_path;
   std::string trace_path;
   std::string summary_path;
+  std::string history_path;
+  std::string git_sha;
   obs::Json runs = obs::Json::array();
   obs::Json trace_events = obs::Json::array();
+  obs::Json first_config;  ///< run.v1 config = first recorded run's
   std::vector<std::vector<obs::RankMetrics>> summary_runs;
   int run_index = 0;
   std::mutex mu;
 
   bool enabled() const {
     return !metrics_path.empty() || !trace_path.empty() ||
-           !summary_path.empty();
+           !summary_path.empty() || !history_path.empty();
   }
 };
 
@@ -61,11 +66,22 @@ void flush_metrics() try {
     obs::write_json_file(log.trace_path, doc);
     std::printf("[metrics] wrote %s\n", log.trace_path.c_str());
   }
-  if (!log.summary_path.empty()) {
-    obs::write_summary_json(log.summary_path,
-                            obs::summarize_runs(log.bench, log.summary_runs));
-    std::printf("[metrics] wrote %s (%zu runs merged)\n",
-                log.summary_path.c_str(), log.summary_runs.size());
+  if (!log.summary_path.empty() || !log.history_path.empty()) {
+    const obs::Json summary =
+        obs::summarize_runs(log.bench, log.summary_runs);
+    if (!log.summary_path.empty()) {
+      obs::write_summary_json(log.summary_path, summary);
+      std::printf("[metrics] wrote %s (%zu runs merged)\n",
+                  log.summary_path.c_str(), log.summary_runs.size());
+    }
+    if (!log.history_path.empty()) {
+      obs::append_run_record(
+          log.history_path,
+          obs::run_record_from_summary(summary, log.bench, log.git_sha,
+                                       log.first_config));
+      std::printf("[metrics] appended run record to %s (sha %s)\n",
+                  log.history_path.c_str(), log.git_sha.c_str());
+    }
   }
 } catch (const std::exception& e) {
   // Runs at exit: an escaping exception would call std::terminate, so
@@ -102,6 +118,14 @@ void metrics_init(const Cli& cli, const std::string& bench_name) {
   log.metrics_path = cli.get("metrics-out", "");
   log.trace_path = cli.get("trace-out", "");
   log.summary_path = cli.get("summary-out", "");
+  log.history_path = cli.get("history-out", "");
+  std::string sha = cli.get("git-sha", "");
+  for (const char* env : {"PKIFMM_GIT_SHA", "GITHUB_SHA"}) {
+    if (!sha.empty()) break;
+    if (const char* v = std::getenv(env)) sha = v;
+  }
+  log.git_sha = sha.empty() ? "unknown" : sha;
+  log.first_config = obs::Json::object();
   if (log.enabled()) std::atexit(flush_metrics);
 }
 
@@ -124,6 +148,10 @@ void record_run(const std::string& kind, const ExperimentConfig& cfg,
   config.set("surface_n", std::int64_t{cfg.opts.surface_n});
   config.set("max_points_per_leaf",
              std::int64_t{cfg.opts.max_points_per_leaf});
+  if (log.run_index == 0) {
+    log.first_config = config;
+    log.first_config.set("kind", kind);
+  }
   run.set("config", std::move(config));
 
   // Per-phase summary matching the stdout tables: time = measured
@@ -161,9 +189,24 @@ void record_run(const std::string& kind, const ExperimentConfig& cfg,
     ph.set("flops", series_json(flops));
     ph.set("msgs", static_cast<std::int64_t>(msgs));
     ph.set("bytes", static_cast<std::int64_t>(bytes));
+    // Max across ranks of the process VmHWM advance while the phase
+    // was open (ranks share one address space, so deltas overlap —
+    // max, not sum, is the honest per-phase figure).
+    double rss_delta = 0.0;
+    for (const auto& rep : reports) {
+      const auto it =
+          rep.obs.counters.find("mem." + name + ".peak_rss_delta_bytes");
+      if (it != rep.obs.counters.end())
+        rss_delta = std::max(rss_delta, it->second);
+    }
+    ph.set("peak_rss_delta_bytes", rss_delta);
     phases.set(name, std::move(ph));
   }
   run.set("phases", std::move(phases));
+  obs::Json mem = obs::Json::object();
+  mem.set("peak_rss_bytes",
+          static_cast<std::int64_t>(obs::peak_rss_bytes()));
+  run.set("mem", std::move(mem));
 
   // Full per-rank snapshot (counters, histograms, span trace) in the
   // flat pkifmm.metrics.v1 schema.
@@ -185,7 +228,8 @@ void record_run(const std::string& kind, const ExperimentConfig& cfg,
       log.trace_events.push_back(std::move(copy));
     }
   }
-  if (!log.summary_path.empty()) log.summary_runs.push_back(std::move(ranks));
+  if (!log.summary_path.empty() || !log.history_path.empty())
+    log.summary_runs.push_back(std::move(ranks));
   ++log.run_index;
 }
 
@@ -221,6 +265,24 @@ std::vector<double> Experiment::phase_times(const std::string& prefix) const {
     const double cpu = sum_prefix(rep.cpu_phases, prefix);
     const auto c = counters_prefix(rep.cost, prefix);
     out.push_back(cpu + model.comm_time(c));
+  }
+  return out;
+}
+
+std::vector<double> Experiment::phase_cpu(const std::string& prefix) const {
+  std::vector<double> out;
+  out.reserve(reports.size());
+  for (const auto& rep : reports)
+    out.push_back(sum_prefix(rep.cpu_phases, prefix));
+  return out;
+}
+
+std::vector<double> Experiment::obs_counter(const std::string& name) const {
+  std::vector<double> out;
+  out.reserve(reports.size());
+  for (const auto& rep : reports) {
+    const auto it = rep.obs.counters.find(name);
+    out.push_back(it == rep.obs.counters.end() ? 0.0 : it->second);
   }
   return out;
 }

@@ -57,6 +57,16 @@ struct Experiment {
     return Summary::of(f);
   }
 
+  /// Per-rank measured thread-CPU seconds over matching phases (no
+  /// modeled comm term — the denominator for achieved-flop-rate math).
+  std::vector<double> phase_cpu(const std::string& prefix) const;
+
+  /// Per-rank value of an obs counter by EXACT name (0 where a rank
+  /// never recorded it). Use for the `hw.<phase>.*` / `mem.<phase>.*`
+  /// counters, which are inclusive per span name and must not be
+  /// prefix-summed (obs/export.hpp).
+  std::vector<double> obs_counter(const std::string& name) const;
+
   /// Per-rank modeled communication time over matching phases.
   std::vector<double> comm_times(const std::string& prefix) const;
 
@@ -78,17 +88,23 @@ struct Experiment {
 Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel);
 
 /// Enables `--metrics-out=<path>` (flat "pkifmm.bench-metrics.v1"
-/// JSON), `--trace-out=<path>` (Chrome trace_event JSON) and
+/// JSON), `--trace-out=<path>` (Chrome trace_event JSON),
 /// `--summary-out=<path>` (cross-rank "pkifmm.summary.v1", see
-/// obs/aggregate.hpp) for this bench. Call once right after
-/// constructing the Cli; every subsequent run_fmm/run_gpu_fmm is
-/// recorded and the files are written when the bench exits. The
-/// per-phase summaries in the metrics file are computed from the same
-/// RankReports and CostModel as the stdout tables, so the numbers
-/// agree to within formatting. The summary merges all recorded runs
-/// (per-phase accumulators folded with Accumulator::merge); it is what
-/// `bench/baseline_check` compares against a checked-in
-/// BENCH_baseline.json.
+/// obs/aggregate.hpp) and `--history-out=<path>` (one compact
+/// "pkifmm.run.v1" line APPENDED per bench process to a
+/// BENCH_history.jsonl trajectory file, see obs/trend.hpp) for this
+/// bench. The history record's git sha comes from `--git-sha`, else
+/// the PKIFMM_GIT_SHA or GITHUB_SHA environment, else "unknown". Call
+/// once right after constructing the Cli; every subsequent
+/// run_fmm/run_gpu_fmm is recorded and the files are written when the
+/// bench exits. The per-phase summaries in the metrics file are
+/// computed from the same RankReports and CostModel as the stdout
+/// tables, so the numbers agree to within formatting; each run also
+/// carries the process peak RSS and per-phase peak-RSS deltas. The
+/// summary merges all recorded runs (per-phase accumulators folded
+/// with Accumulator::merge); it is what `bench/baseline_check`
+/// compares against a checked-in BENCH_baseline.json and what the
+/// history record condenses for `tools/pkifmm_trend`.
 void metrics_init(const Cli& cli, const std::string& bench_name);
 
 /// Internal: appends one run's reports to the metrics log (no-op when

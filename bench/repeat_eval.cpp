@@ -45,13 +45,18 @@ int main(int argc, char** argv) {
   std::vector<double> setup_cpu(p, 0.0);
   std::vector<std::vector<double>> step_cpu(steps, std::vector<double>(p));
   std::vector<std::vector<double>> step_wall(steps, std::vector<double>(p));
-  comm::Runtime::run(p, threads, clamp, [&](comm::RankCtx& ctx) {
+  // Process-wide VmHWM snapshots (rank 0 samples after its own phase
+  // completes — a good proxy since ranks step in near-lockstep).
+  double setup_rss = 0.0;
+  std::vector<double> step_rss(steps, 0.0);
+  const auto reports = comm::Runtime::run(p, threads, clamp, [&](comm::RankCtx& ctx) {
     auto pts = octree::generate_points(dist, n, ctx.rank(), p, 1, 77);
     core::ParallelFmm fmm(ctx, tables);
     {
       const double t0 = thread_cpu_seconds();
       fmm.setup(std::move(pts));
       setup_cpu[ctx.rank()] = thread_cpu_seconds() - t0;
+      if (ctx.rank() == 0) setup_rss = static_cast<double>(obs::peak_rss_bytes());
     }
 
     std::vector<std::uint64_t> gids;
@@ -70,20 +75,35 @@ int main(int argc, char** argv) {
       (void)fmm.evaluate();
       step_cpu[s][ctx.rank()] = thread_cpu_seconds() - t0;
       step_wall[s][ctx.rank()] = obs::wall_seconds() - w0;
+      if (ctx.rank() == 0)
+        step_rss[s] = static_cast<double>(obs::peak_rss_bytes());
     }
   });
 
+  // Feed --metrics-out/--summary-out/--history-out: this bench drives
+  // the Runtime directly, so it must hand its reports to the log.
+  ExperimentConfig cfg;
+  cfg.p = p;
+  cfg.dist = dist;
+  cfg.n_points = n;
+  cfg.seed = 77;
+  cfg.opts = opts;
+  record_run("fmm", cfg, "laplace", reports, comm::CostModel{});
+
   std::printf("threads per rank: %d (clamp %s)\n\n", threads,
               clamp ? "on" : "off");
-  Table table({"phase", "max cpu (s)", "avg cpu (s)", "max wall (s)"});
+  Table table({"phase", "max cpu (s)", "avg cpu (s)", "max wall (s)",
+               "peak RSS (MiB)"});
+  const auto mib = [](double b) { return fixed(b / (1024.0 * 1024.0), 1); };
   const Summary s0 = Summary::of(setup_cpu);
-  table.add_row({"setup (once)", sci(s0.max), sci(s0.avg), "-"});
+  table.add_row({"setup (once)", sci(s0.max), sci(s0.avg), "-",
+                 mib(setup_rss)});
   double eval_sum = 0.0, wall_sum = 0.0;
   for (int s = 0; s < steps; ++s) {
     const Summary ss = Summary::of(step_cpu[s]);
     const Summary sw = Summary::of(step_wall[s]);
     table.add_row({"evaluate step " + std::to_string(s + 1), sci(ss.max),
-                   sci(ss.avg), sci(sw.max)});
+                   sci(ss.avg), sci(sw.max), mib(step_rss[s])});
     eval_sum += ss.max;
     wall_sum += sw.max;
   }

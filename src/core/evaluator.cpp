@@ -187,6 +187,31 @@ void Evaluator::run() {
     uli_join();
   }
   pool_->fold_stats(ctx_.rec);
+  publish_mem_gauges();
+}
+
+/// Publishes the evaluator's scratch footprint as `mem.eval.*` byte
+/// gauges. Capacities only grow across phases, so sampling once after
+/// the pipeline captures each buffer's high-water mark for this run.
+void Evaluator::publish_mem_gauges() {
+  auto cap = [](const auto& v) {
+    return static_cast<double>(
+        v.capacity() *
+        sizeof(typename std::decay_t<decltype(v)>::value_type));
+  };
+  obs::Recorder& rec = ctx_.rec;
+  rec.gauge_set("mem.eval.state_bytes",
+                cap(u_) + cap(checkpot_) + cap(d_) + cap(f_) + cap(f_uli_) +
+                    cap(pos_) + cap(src_pos_) + cap(src_den_) +
+                    cap(src_offset_));
+  rec.gauge_set("mem.eval.surface_bytes",
+                static_cast<double>(surf_.bytes()) + cap(surf_scratch_));
+  rec.gauge_set("mem.eval.lane_scratch_bytes",
+                cap(lane_surf_) + cap(lane_line_));
+  rec.gauge_set("mem.eval.batch_bytes",
+                cap(batch_in_) + cap(batch_out_) + cap(batch_tmp_) +
+                    cap(slots_a_) + cap(slots_b_) + cap(slot_of_));
+  rec.gauge_set("mem.eval.fft_chunk_bytes", cap(spectra_) + cap(fft_acc_));
 }
 
 void Evaluator::s2u() { batched() ? s2u_batched() : s2u_scalar(); }

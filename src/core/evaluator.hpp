@@ -157,6 +157,10 @@ class Evaluator {
   void gemm_batched(const la::Matrix& m, std::size_t ncols, double scale,
                     const char* phase);
 
+  /// Publishes scratch-buffer capacities as `mem.eval.*` byte gauges
+  /// (run() calls this after the pipeline; see DESIGN.md §5b).
+  void publish_mem_gauges();
+
   const Tables& tables_;
   const octree::Let& let_;
   comm::RankCtx& ctx_;

@@ -45,6 +45,14 @@ void ParallelFmm::setup(std::vector<octree::PointRec> points) {
     let_ = std::make_unique<octree::Let>(octree::build_let(ctx_.comm, tree));
     octree::build_interaction_lists(*let_);
   }
+
+  // Memory telemetry: what Algorithm 2's ghost exchange replicated on
+  // this rank versus the whole LET (the final one if load balancing
+  // rebuilt it).
+  ctx_.rec.gauge_set("mem.let.ghost_bytes",
+                     static_cast<double>(let_->ghost_bytes()));
+  ctx_.rec.gauge_set("mem.let.total_bytes",
+                     static_cast<double>(let_->total_bytes()));
 }
 
 void ParallelFmm::set_densities(const std::vector<std::uint64_t>& gids,

@@ -44,6 +44,10 @@ class SurfaceCache {
 
   int count() const { return count_; }
 
+  /// Resident bytes of the cached unit-surface template (memory
+  /// telemetry: the `mem.eval.surface_bytes` gauge).
+  std::size_t bytes() const { return unit_.capacity() * sizeof(double); }
+
   /// Writes the 3*count() xyz-interleaved coordinates of the surface of
   /// a box with the given center/half-width into out (must be sized
   /// exactly 3*count()).

@@ -30,10 +30,27 @@
 ///                                            (sparse; obs::summarize_metrics
 ///                                            assembles the dense matrix)
 ///   coll.<collective>.calls / .rounds / .msgs / .bytes
-/// and the gauge
+///
+/// Hardware/memory counters folded at span close while an
+/// obs::HwCounters is bound (obs/hw.hpp; names match span names
+/// EXACTLY and are inclusive of child spans — never prefix-sum them):
+///   hw.<phase>.cycles / .instructions        perf_event_open, only when
+///   hw.<phase>.l1d_misses / .llc_misses      the rank has perf access
+///   hw.<phase>.branch_misses                 (absent under fallback)
+///   hw.<phase>.minor_faults / .major_faults  getrusage(RUSAGE_THREAD),
+///   hw.<phase>.ctx_switches                  always present
+///   mem.<phase>.peak_rss_delta_bytes         process VmHWM advance while
+///                                            the phase was open
+///   hw.ranks_perf / hw.ranks_fallback        1 per rank, by source
+/// and the gauges
 ///   obs.epoch                                recorder epoch on the process
 ///                                            wall clock (aligns per-rank
 ///                                            span timelines)
+///   hw.perf_errno                            errno of the failed
+///                                            perf_event_open (0 = live)
+///   mem.peak_rss_bytes                       process VmHWM at rank exit
+///   mem.let.*, mem.eval.*                    structure footprints
+///                                            (DESIGN.md §5b)
 ///
 /// The Chrome trace export ("trace_event" JSON-array format, load via
 /// chrome://tracing or Perfetto) maps rank -> pid (with process_name /

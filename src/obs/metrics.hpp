@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hw.hpp"
 #include "util/check.hpp"
 
 namespace pkifmm::obs {
@@ -154,6 +155,26 @@ class Recorder {
   }
   std::uint64_t flops_total() const { return flops_total_; }
 
+  // --- hardware / memory sampling ----------------------------------
+  /// Binds a thread-scoped HwCounters (owned by the caller, must
+  /// outlive the binding; unbind with nullptr). While bound, every
+  /// span close folds the counter deltas across the span into flat
+  /// counters `hw.<span-name>.<event>` and the process peak-RSS
+  /// advance into `mem.<span-name>.peak_rss_delta_bytes`, and one
+  /// `hw.ranks_perf` or `hw.ranks_fallback` tick plus the
+  /// `hw.perf_errno` gauge record which source this rank got. Call
+  /// once per rank run, from the thread that owns both the recorder
+  /// and the HwCounters (comm::Runtime does).
+  void bind_hw(HwCounters* hw) {
+    hw_ = hw;
+    if (!hw) return;
+    counter_add(hw->source() == HwCounters::Source::kPerf
+                    ? "hw.ranks_perf"
+                    : "hw.ranks_fallback");
+    gauge_set("hw.perf_errno", static_cast<double>(hw->perf_errno()));
+  }
+  const HwCounters* hw() const { return hw_; }
+
   // --- tracer ------------------------------------------------------
   /// RAII span. Move-only; closes on destruction unless close() was
   /// called explicitly (which returns the measured durations so a
@@ -221,13 +242,17 @@ class Recorder {
     std::size_t idx;        ///< slot in metrics_.spans
     double cpu_start;
     std::uint64_t flops0, msgs0, bytes0;
+    HwSample hw0;           ///< populated only while hw_ is bound
+    std::uint64_t rss0 = 0; ///< peak_rss_bytes() at open (hw_ bound)
   };
 
   std::size_t open_span(std::string name);
   const SpanEvent& close_span(std::size_t idx);
+  void fold_hw(const std::string& name, const OpenSpan& o);
 
   RankMetrics metrics_;
   std::vector<OpenSpan> open_;
+  HwCounters* hw_ = nullptr;
   double epoch_;
   std::uint64_t flops_total_ = 0;
   std::uint64_t msgs_total_ = 0;

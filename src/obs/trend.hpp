@@ -1,0 +1,106 @@
+#pragma once
+/// \file trend.hpp
+/// \brief Bench-trajectory records ("pkifmm.run.v1") and trend
+/// analysis over BENCH_history.jsonl.
+///
+/// The perf gate (aggregate.hpp compare_summaries) answers "is this
+/// run worse than the one checked-in baseline?". Trend records answer
+/// the longitudinal question — "how has each phase moved over the last
+/// K runs?" — which is what catches the slow drift a single baseline
+/// ratio absorbs. Every bench appends one compact line per run:
+///
+///   {
+///     "schema": "pkifmm.run.v1",
+///     "bench": "<name>",            // which bench produced it
+///     "git_sha": "<sha|unknown>",   // --git-sha / PKIFMM_GIT_SHA /
+///                                   // GITHUB_SHA
+///     "nranks": <int>, "nruns": <int>,
+///     "hw_source": "perf"|"fallback"|"mixed"|"none",
+///     "config": { ... },            // free-form bench configuration
+///     "phases": {                   // cross-rank SUMS per phase
+///       "<phase>": { "wall", "cpu", "flops", "msgs_sent",
+///                    "bytes_sent",
+///                    // present only when any rank had perf access:
+///                    "cycles", "instructions", "l1d_misses",
+///                    "llc_misses", "branch_misses",
+///                    // always present when ranks sampled memory:
+///                    "minor_faults", "peak_rss_delta_bytes" }, ...
+///     },
+///     "mem": { "peak_rss_bytes": <process VmHWM at record time> }
+///   }
+///
+/// One JSON document per line (JSONL): appends are atomic enough for
+/// sequential bench runs, the file diffs line-per-run in git, and a
+/// truncated last line (crashed bench) only loses that run.
+///
+/// trend_analyze compares the newest record against the *median* of
+/// the previous `window` records per (phase, metric) — the median
+/// keeps one noisy CI machine from poisoning the reference. Time and
+/// work metrics gate with the same ratios/floors as GateOptions
+/// (hard-fail); hardware-counter and memory metrics only ever WARN,
+/// because they are machine-dependent (a different CI host has a
+/// different cache) and perf access comes and goes with the container.
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pkifmm::obs {
+
+inline constexpr const char* kRunSchema = "pkifmm.run.v1";
+
+/// Builds a run record from a validated summary document ("phases"
+/// sums + `hw.<phase>.*` / `mem.<phase>.*` metric sums + the current
+/// process peak RSS). `config` is stored verbatim (pass Json::object()
+/// for none).
+Json run_record_from_summary(const Json& summary, const std::string& bench,
+                             const std::string& git_sha,
+                             const Json& config);
+
+/// Validates the structural schema of one run record; throws
+/// CheckFailure describing the first violation.
+void validate_run_json(const Json& doc);
+
+/// Appends one record as a single JSONL line (creates the file if
+/// missing). Throws CheckFailure if the record fails validation or
+/// the file cannot be written.
+void append_run_record(const std::string& path, const Json& record);
+
+/// Reads a JSONL history file; skips blank lines, throws CheckFailure
+/// on unreadable files or lines that fail to parse/validate.
+std::vector<Json> read_run_history(const std::string& path);
+
+/// Thresholds for trend_analyze. Time/work ratios and floors mirror
+/// GateOptions; hw metrics get their own looser ratio and are
+/// warn-only regardless.
+struct TrendOptions {
+  int window = 8;             ///< reference = median of last `window`
+                              ///< records before the newest
+  double time_ratio = 1.6;    ///< hard bound for wall & cpu
+  double work_ratio = 1.25;   ///< hard bound for flops / msgs / bytes
+  double hw_ratio = 1.5;      ///< WARN bound for cycles/misses/faults/rss
+  double min_seconds = 5e-2;  ///< floors, as in GateOptions
+  double min_flops = 1e4;
+  double min_msgs = 16;
+  double min_bytes = 4096;
+  double min_hw = 1e6;        ///< ignore hw metrics below this count
+};
+
+/// Analyzes records of ONE bench, ordered oldest -> newest. The newest
+/// record is compared per phase against the median of up to
+/// opt.window preceding records. Returns
+///   { "ok": bool,                  // no hard regressions
+///     "checked": <int>, "window": <int>,  // references actually used
+///     "newest_sha": "<sha>",
+///     "regressions": [ { "phase", "metric", "reference", "fresh",
+///                        "ratio", "limit" }, ... ],
+///     "warnings":   [ ...same shape, hw/mem metrics... ] }
+/// A phase present in every reference record but missing from the
+/// newest is a regression with metric "missing". Fewer than 2 records
+/// yields ok with checked = 0 (nothing to compare yet). Throws
+/// CheckFailure if any record fails validate_run_json.
+Json trend_analyze(const std::vector<Json>& records,
+                   const TrendOptions& opt = {});
+
+}  // namespace pkifmm::obs

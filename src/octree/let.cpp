@@ -69,6 +69,32 @@ int Let::min_leaf_level() const {
   return m;
 }
 
+std::size_t Let::ghost_bytes() const {
+  std::size_t b = 0;
+  for (const LetNode& n : nodes)
+    if (n.global_leaf && !n.owned)
+      b += sizeof(LetNode) +
+           static_cast<std::size_t>(n.point_count) * sizeof(PointRec);
+  return b;
+}
+
+std::size_t Let::total_bytes() const {
+  auto cap = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::
+                                     value_type);
+  };
+  std::size_t b = cap(nodes) + cap(points) + cap(splitters) +
+                  cap(ghost_subscriptions);
+  for (const ListSet* ls : {&u, &v, &w, &x})
+    b += cap(ls->offset) + cap(ls->items);
+  // Hash index: entries plus a per-bucket pointer (implementation
+  // detail, but the right order of magnitude on every libstdc++).
+  b += index_.size() * (sizeof(morton::Key) + sizeof(std::int32_t) +
+                        2 * sizeof(void*)) +
+       index_.bucket_count() * sizeof(void*);
+  return b;
+}
+
 Let build_let(comm::Comm& c, const OwnedTree& tree) {
   const int p = c.size();
   std::unordered_map<Key, Staged, morton::KeyHash> staged;

@@ -86,6 +86,14 @@ struct Let {
   int max_leaf_level() const;
   int min_leaf_level() const;
 
+  /// Memory telemetry (the `mem.let.*` gauges): bytes of the ghost
+  /// side of the LET — non-owned global leaves plus their replicated
+  /// points, i.e. what Algorithm 2's exchange materialized locally —
+  /// and of the whole structure (nodes, points, splitters,
+  /// interaction lists, subscriptions, key index).
+  std::size_t ghost_bytes() const;
+  std::size_t total_bytes() const;
+
   std::unordered_map<morton::Key, std::int32_t, morton::KeyHash> index_;
 };
 

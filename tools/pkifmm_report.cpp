@@ -3,18 +3,25 @@
 /// (the cross-rank summary written by any bench's --summary-out or by
 /// obs::write_summary_json).
 ///
-/// Three sections:
+/// Sections:
 ///   1. a paper-style per-phase breakdown (Table II layout: Max/Avg
 ///      wall time, Max/Avg flops, plus the overlap efficiency the
 ///      summary derives from cross-rank span timelines),
-///   2. the top-k phases by wall-time imbalance (max/avg across
+///   2. a roofline classification: per-phase achieved GFLOP/s,
+///      arithmetic intensity (flops / estimated bytes moved, where
+///      bytes = LLC misses x 64B lines), IPC and miss rates from the
+///      `hw.<phase>.*` counters, and a compute- vs bandwidth-bound
+///      verdict against the --peak-gflops / --peak-gbs machine model.
+///      On fallback-source runs (no perf access) the hw-derived
+///      columns print "-" and a note explains why,
+///   3. the top-k phases by wall-time imbalance (max/avg across
 ///      ranks) — where to look first when scaling stalls,
-///   3. the intra-rank scheduler (only when `sched.*` counters are
+///   4. the intra-rank scheduler (only when `sched.*` counters are
 ///      present, i.e. the run drove a util::TaskPool): per-worker-lane
 ///      busy fraction over the pool lifetime plus the ULI overlap
 ///      efficiency — what fraction of the U-list direct work executed
 ///      concurrently with the far-field pipeline,
-///   4. an ASCII heatmap of the per-phase communication matrix
+///   5. an ASCII heatmap of the per-phase communication matrix
 ///      (row = sender, column = receiver), the traffic-shape evidence
 ///      behind the paper's Algorithm 2/3 claims.
 ///
@@ -22,8 +29,11 @@
 ///       [--top=5]                  # rows in the imbalance section
 ///       [--matrix-phase=<phase>]   # default: every phase with traffic
 ///       [--matrix-metric=bytes]    # or msgs
+///       [--peak-gflops=8]          # per-rank peak for the roofline
+///       [--peak-gbs=20]            # per-rank memory bandwidth
 ///
-/// Exit status: 0 on success, 2 on bad input.
+/// Exit status: 0 on success, 2 on bad input (missing/malformed JSON
+/// included — schema violations print a one-line error, never crash).
 
 #include <algorithm>
 #include <cstdio>
@@ -83,9 +93,16 @@ void print_heatmap(const std::string& phase, const std::string& metric,
   }
 }
 
+/// Cross-rank sum of a flat summary metric, or -1 when no rank
+/// recorded it (hw counters are absent, not zero, under fallback).
+double metric_sum(const obs::Json& metrics, const std::string& name) {
+  return metrics.contains(name) ? metrics.at(name).at("sum").as_double()
+                                : -1.0;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::string path = cli.get("summary", "");
   if (path.empty()) {
@@ -95,8 +112,15 @@ int main(int argc, char** argv) {
   const auto top_k = static_cast<std::size_t>(cli.get_int("top", 5));
   const std::string want_phase = cli.get("matrix-phase", "");
   const std::string matrix_metric = cli.get("matrix-metric", "bytes");
+  const double peak_gflops = cli.get_double("peak-gflops", 8.0);
+  const double peak_gbs = cli.get_double("peak-gbs", 20.0);
   if (matrix_metric != "bytes" && matrix_metric != "msgs") {
     std::fprintf(stderr, "pkifmm_report: --matrix-metric must be bytes|msgs\n");
+    return 2;
+  }
+  if (peak_gflops <= 0.0 || peak_gbs <= 0.0) {
+    std::fprintf(stderr,
+                 "pkifmm_report: --peak-gflops/--peak-gbs must be > 0\n");
     return 2;
   }
 
@@ -135,7 +159,72 @@ int main(int argc, char** argv) {
   std::printf("Per-phase breakdown (sorted by max wall time):\n%s\n",
               breakdown.str().c_str());
 
-  // --- 2. Top-k phases by wall-time imbalance. Phases with negligible
+  // --- 2. Roofline classification. Rates are cluster-level: summed
+  // flops over the phase's max wall across ranks. Bytes moved are
+  // estimated as LLC misses x 64B cache lines — an undercount with
+  // hardware prefetching, so the printed intensity is an upper bound.
+  // The ridge point peak_gflops/peak_gbs splits bandwidth- from
+  // compute-bound; "roof util" is achieved / roofline(AI).
+  const obs::Json& metrics = doc.at("metrics");
+  {
+    const double ranks_perf = metric_sum(metrics, "hw.ranks_perf");
+    const double ranks_fb = metric_sum(metrics, "hw.ranks_fallback");
+    const double ridge = peak_gflops / peak_gbs;  // flop/byte
+    Table roof({"Phase", "GFLOP/s", "AI (F/B)", "IPC", "L1d/KI", "LLC/KI",
+                "Br/KI", "Bound", "Roof util"});
+    for (const std::string& name : names) {
+      const obs::Json& ph = phases.at(name);
+      const double flops = stat(ph, "flops", "sum");
+      const double wall = stat(ph, "wall", "max");
+      if (flops <= 0.0 || wall <= 1e-9) continue;
+      const double gfs = flops / wall / 1e9;
+      const double cycles = metric_sum(metrics, "hw." + name + ".cycles");
+      const double instr =
+          metric_sum(metrics, "hw." + name + ".instructions");
+      const double l1d = metric_sum(metrics, "hw." + name + ".l1d_misses");
+      const double llc = metric_sum(metrics, "hw." + name + ".llc_misses");
+      const double br =
+          metric_sum(metrics, "hw." + name + ".branch_misses");
+      std::string ai = "-", ipc = "-", l1dki = "-", llcki = "-",
+                  brki = "-", bound = "-", util = "-";
+      if (instr > 0.0 && cycles > 0.0) ipc = fixed(instr / cycles);
+      if (instr > 0.0) {
+        if (l1d >= 0.0) l1dki = fixed(1e3 * l1d / instr);
+        if (llc >= 0.0) llcki = fixed(1e3 * llc / instr);
+        if (br >= 0.0) brki = fixed(1e3 * br / instr);
+      }
+      if (llc > 0.0) {
+        const double intensity = flops / (llc * 64.0);
+        ai = fixed(intensity);
+        bound = intensity < ridge ? "bandwidth" : "compute";
+        const double roofline =
+            std::min(peak_gflops, intensity * peak_gbs);
+        util = bar(gfs / roofline, 1.0, 12);
+      }
+      roof.add_row({name, fixed(gfs), ai, ipc, l1dki, llcki, brki, bound,
+                    util});
+    }
+    std::printf(
+        "Roofline (peak %.1f GFLOP/s, %.1f GB/s, ridge %.2f flop/byte):\n%s",
+        peak_gflops, peak_gbs, ridge, roof.str().c_str());
+    if (ranks_perf <= 0.0)
+      std::printf(
+          "note: no rank had perf_event_open access (%d/%d fallback) — "
+          "hw-derived\ncolumns are '-'; GFLOP/s uses analytic flop counts "
+          "over wall time.\n",
+          static_cast<int>(ranks_fb < 0.0 ? 0.0 : ranks_fb),
+          static_cast<int>((ranks_perf < 0.0 ? 0.0 : ranks_perf) +
+                           (ranks_fb < 0.0 ? 0.0 : ranks_fb)));
+    else if (metrics.contains("sched.workers") &&
+             metric_sum(metrics, "sched.workers") > 0.0)
+      std::printf(
+          "note: hw counters cover rank threads only — TaskPool worker "
+          "lanes are\nuncounted, so hw-derived columns understate "
+          "multi-lane phases.\n");
+    std::printf("\n");
+  }
+
+  // --- 3. Top-k phases by wall-time imbalance. Phases with negligible
   // time are skipped: max/avg over microseconds is noise, not signal.
   std::vector<std::string> ranked;
   for (const std::string& name : names)
@@ -157,8 +246,7 @@ int main(int argc, char** argv) {
   std::printf("Top-%zu phases by wall-time imbalance (max/avg):\n%s\n",
               ranked.size(), imbalance.str().c_str());
 
-  // --- 3. Intra-rank scheduler, when the run drove a task pool.
-  const obs::Json& metrics = doc.at("metrics");
+  // --- 4. Intra-rank scheduler, when the run drove a task pool.
   std::vector<std::string> lanes;  // "sched.busy.w<k>" keys, lane order
   for (const std::string& key : metrics.keys())
     if (key.rfind("sched.busy.w", 0) == 0) lanes.push_back(key);
@@ -196,7 +284,7 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // --- 4. Communication-matrix heatmaps.
+  // --- 5. Communication-matrix heatmaps.
   const obs::Json& matrices = doc.at("comm_matrix");
   std::printf("Communication matrices:\n");
   bool printed = false;
@@ -216,4 +304,16 @@ int main(int argc, char** argv) {
     std::printf("  (no point-to-point traffic recorded)\n");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // Missing files and schema violations surface as CheckFailure (a
+  // std::logic_error) from read_json_file/validate_summary_json; an
+  // uncaught throw would std::terminate with no actionable message.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pkifmm_report: error: %s\n", e.what());
+    return 2;
+  }
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
+#include "simd/simd.hpp"
 #include "util/check.hpp"
 
 namespace pkifmm::fft {
@@ -84,27 +86,19 @@ void Fft3d::line_fft(Complex* a, bool inverse) const {
 
   // Butterflies on raw re/im pairs with table twiddles: no dependent
   // w *= wlen chain and no Annex-G complex-multiply library calls.
+  // Each (stage, block) is one simd fft_bfly call over `half` complex
+  // values — both halves and the twiddles are contiguous, so the op
+  // vectorizes the j loop; blocks are processed in the same order on
+  // every call, keeping line_fft bitwise deterministic within a tier.
+  const simd::Ops& ops = simd::ops();
   double* ad = reinterpret_cast<double*>(a);
   const double sgn = inverse ? -1.0 : 1.0;
   std::size_t toff = 0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t j = 0; j < half; ++j) {
-        const double wr = tw_[2 * (toff + j)];
-        const double wi = sgn * tw_[2 * (toff + j) + 1];
-        const std::size_t ia = 2 * (i + j);
-        const std::size_t ib = ia + 2 * half;
-        const double br = ad[ib], bi = ad[ib + 1];
-        const double vr = br * wr - bi * wi;
-        const double vi = br * wi + bi * wr;
-        const double ur = ad[ia], ui = ad[ia + 1];
-        ad[ia] = ur + vr;
-        ad[ia + 1] = ui + vi;
-        ad[ib] = ur - vr;
-        ad[ib + 1] = ui - vi;
-      }
-    }
+    const double* tw = tw_.data() + 2 * toff;
+    for (std::size_t i = 0; i < n; i += len)
+      ops.fft_bfly(ad + 2 * i, ad + 2 * (i + half), tw, sgn, half);
     toff += half;
   }
 
@@ -152,15 +146,31 @@ std::uint64_t Fft3d::transform_flops() const {
 }
 
 std::size_t next_pow2(std::size_t x) {
+  // Largest representable power of two; beyond it the doubling loop
+  // would shift p to zero and spin forever.
+  constexpr std::size_t kMaxPow2 =
+      std::numeric_limits<std::size_t>::max() / 2 + 1;
+  PKIFMM_CHECK_MSG(x <= kMaxPow2,
+                   "next_pow2: " << x << " exceeds the largest size_t power "
+                                 << "of two (" << kMaxPow2 << ")");
   std::size_t p = 1;
   while (p < x) p <<= 1;
   return p;
 }
 
+// The complex MACs below route through the runtime-dispatched SIMD
+// tiers (src/simd/). The scalar tier keeps the hand-rolled 4-mul/4-add
+// form (no __muldc3 Annex-G call); the vector tiers use the interleaved
+// fmaddsub idiom on the same [re, im] layout. Within a tier the
+// accumulation per frequency index is a single two-product update, so
+// any chunking of the index range gives bitwise-identical results.
+
 void pointwise_mac(std::span<const Complex> g, std::span<const Complex> f,
                    std::span<Complex> acc) {
   PKIFMM_CHECK(g.size() == f.size() && f.size() == acc.size());
-  for (std::size_t i = 0; i < g.size(); ++i) acc[i] += g[i] * f[i];
+  simd::ops().cmac(reinterpret_cast<const double*>(g.data()),
+                   reinterpret_cast<const double*>(f.data()),
+                   reinterpret_cast<double*>(acc.data()), g.size());
 }
 
 void pointwise_mac_many(std::span<const Complex> g,
@@ -168,25 +178,25 @@ void pointwise_mac_many(std::span<const Complex> g,
                         std::span<Complex* const> accs,
                         std::size_t begin, std::size_t end) {
   PKIFMM_CHECK(fs.size() == accs.size());
-  const std::size_t n = std::min(end, g.size());
+  if (end == std::size_t(-1)) end = g.size();  // default: full spectrum
+  // A window reaching past the spectrum is a caller indexing bug; the
+  // old code silently clamped it to g.size() and made short volumes
+  // "work" with truncated products.
+  PKIFMM_CHECK_MSG(begin <= end && end <= g.size(),
+                   "pointwise_mac_many: window [" << begin << ", " << end
+                                                  << ") outside spectrum of "
+                                                  << g.size());
   const std::size_t npairs = fs.size();
   // Chunk the window so the g slice stays resident across the pair loop.
   constexpr std::size_t kChunk = 1024;
+  const simd::Ops& ops = simd::ops();
   const double* gd = reinterpret_cast<const double*>(g.data());
-  for (std::size_t i0 = begin; i0 < n; i0 += kChunk) {
-    const std::size_t i1 = std::min(n, i0 + kChunk);
+  for (std::size_t i0 = begin; i0 < end; i0 += kChunk) {
+    const std::size_t i1 = std::min(end, i0 + kChunk);
     for (std::size_t p = 0; p < npairs; ++p) {
       const double* fd = reinterpret_cast<const double*>(fs[p]);
       double* ad = reinterpret_cast<double*>(accs[p]);
-      // Hand-rolled complex MAC (4 mul + 4 add per point, the 8-flop
-      // model) — avoids the __muldc3 Annex-G call so the loop
-      // vectorizes.
-      for (std::size_t i = i0; i < i1; ++i) {
-        const double gr = gd[2 * i], gi = gd[2 * i + 1];
-        const double fr = fd[2 * i], fi = fd[2 * i + 1];
-        ad[2 * i] += gr * fr - gi * fi;
-        ad[2 * i + 1] += gr * fi + gi * fr;
-      }
+      ops.cmac(gd + 2 * i0, fd + 2 * i0, ad + 2 * i0, i1 - i0);
     }
   }
 }
@@ -196,18 +206,14 @@ void pointwise_mac_chunked(const Complex* g, std::size_t c,
                            std::span<const std::int32_t> fidx,
                            std::span<const std::int32_t> aidx) {
   PKIFMM_CHECK(fidx.size() == aidx.size());
+  const simd::Ops& ops = simd::ops();
   const double* gd = reinterpret_cast<const double*>(g);
   for (std::size_t e = 0; e < fidx.size(); ++e) {
     const double* fd =
         reinterpret_cast<const double*>(f_base + std::size_t(fidx[e]) * c);
     double* ad =
         reinterpret_cast<double*>(acc_base + std::size_t(aidx[e]) * c);
-    for (std::size_t i = 0; i < c; ++i) {
-      const double gr = gd[2 * i], gi = gd[2 * i + 1];
-      const double fr = fd[2 * i], fi = fd[2 * i + 1];
-      ad[2 * i] += gr * fr - gi * fi;
-      ad[2 * i + 1] += gr * fi + gi * fr;
-    }
+    ops.cmac(gd, fd, ad, c);
   }
 }
 

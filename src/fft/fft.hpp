@@ -59,7 +59,8 @@ class Fft3d {
   std::vector<std::uint32_t> rev_;  ///< bit-reversal permutation
 };
 
-/// Smallest power of two >= x.
+/// Smallest power of two >= x. Throws CheckFailure if x exceeds the
+/// largest size_t power of two (no silent wraparound).
 std::size_t next_pow2(std::size_t x);
 
 /// Pointwise multiply-accumulate in frequency space:
@@ -70,15 +71,19 @@ void pointwise_mac(std::span<const Complex> g, std::span<const Complex> f,
 
 /// Applies ONE translation spectrum g to MANY source/accumulator pairs:
 /// accs[p][i] += g[i] * fs[p][i] for every pair p and every frequency
-/// index i in [begin, min(end, g.size())). Equivalent to fs.size() calls
-/// of pointwise_mac with the same g, but blocked so each chunk of g is
+/// index i in [begin, end). Equivalent to fs.size() calls of
+/// pointwise_mac with the same g, but blocked so each chunk of g is
 /// loaded once per block of pairs — the batched form of the paper's
 /// diagonal translation (V-list pairs sorted by offset share their
 /// operator). The window parameters let a caller sweep the frequency
 /// axis OUTSIDE a loop over many such groups, keeping every volume's
 /// active chunk cache-resident across the groups (see
-/// core::Evaluator::vli_fft_batched). fs and accs must have equal
-/// length; every volume must have g.size() elements.
+/// core::Evaluator::vli_fft_batched). end defaults to the npos
+/// sentinel, meaning g.size(); any other value must satisfy
+/// begin <= end <= g.size() or the call throws CheckFailure (a window
+/// past the spectrum is an indexing bug, not something to clamp).
+/// fs and accs must have equal length; every volume must have g.size()
+/// elements.
 void pointwise_mac_many(std::span<const Complex> g,
                         std::span<const Complex* const> fs,
                         std::span<Complex* const> accs,

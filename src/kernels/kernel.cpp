@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <utility>
 
+#include "simd/simd.hpp"
 #include "util/check.hpp"
 
 namespace pkifmm::kernels {
@@ -17,6 +19,9 @@ constexpr double kOneOver8Pi = 1.0 / (8.0 * std::numbers::pi);
 /// amortizes over the tile and the inner target loop vectorizes. For a
 /// fixed target the sources are still visited in order 0..ns-1, so the
 /// accumulation into f[t] is bitwise identical to the naive loop.
+/// Used by the generic Kernel::direct and the Yukawa kernels (whose
+/// exp() has no vector implementation); the rsqrt-based kernels route
+/// through the runtime-dispatched simd::ops() tiers instead.
 constexpr std::size_t kDirectTile = 32;
 
 template <int TD, int SD, class K>
@@ -108,7 +113,17 @@ la::Matrix Kernel::assemble(std::span<const double> targets,
 
 void LaplaceKernel::block(const double d[3], double* out) const {
   const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-  out[0] = r2 > 0.0 ? kOneOver4Pi / std::sqrt(r2) : 0.0;
+  // Coincident-point guard: every singular kernel in this file tests
+  // r2 == 0.0, so a NaN coordinate propagates (r2 = NaN fails both
+  // `== 0.0` and the old `> 0.0` ordering, but `> 0.0` silently mapped
+  // NaN to 0 while the others let it through). -0.0 components still
+  // hit the guard since (-0.0)^2 == +0.0. The SIMD tiers reproduce
+  // this exact predicate with a lane mask.
+  if (r2 == 0.0) {
+    out[0] = 0.0;
+    return;
+  }
+  out[0] = kOneOver4Pi / std::sqrt(r2);
 }
 
 std::unique_ptr<Kernel> LaplaceKernel::gradient() const {
@@ -181,20 +196,48 @@ void RegularizedStokesKernel::block(const double d[3], double* out) const {
       out[i * 3 + j] = (i == j ? diag : 0.0) + offd * d[i] * d[j];
 }
 
-// Tiled direct loops with the concrete (final) block() inlined — the
-// virtual dispatch happens once per call, not once per pair.
+namespace {
+
+/// Span-shape checks shared by the simd::ops()-routed direct() paths.
+std::pair<std::size_t, std::size_t> check_direct_spans(
+    std::span<const double> targets, std::span<const double> sources,
+    std::span<const double> density, std::span<double> potential, int td,
+    int sd) {
+  PKIFMM_CHECK(targets.size() % 3 == 0 && sources.size() % 3 == 0);
+  const std::size_t nt = targets.size() / 3;
+  const std::size_t ns = sources.size() / 3;
+  PKIFMM_CHECK(density.size() == ns * static_cast<std::size_t>(sd));
+  PKIFMM_CHECK(potential.size() == nt * static_cast<std::size_t>(td));
+  return {nt, ns};
+}
+
+}  // namespace
+
+// The rsqrt-based kernels route through the runtime-dispatched SIMD
+// tiers (src/simd/): source-tiled loops over target vector lanes, with
+// the r2 == 0 guard as a lane mask. The Yukawa kernels keep the scalar
+// direct_impl tile at every tier — their exp() has no vector
+// implementation, and a libm call per lane would erase the win.
 std::uint64_t LaplaceKernel::direct(std::span<const double> targets,
                                     std::span<const double> sources,
                                     std::span<const double> density,
                                     std::span<double> potential) const {
-  return direct_impl<1, 1>(*this, targets, sources, density, potential);
+  const auto [nt, ns] =
+      check_direct_spans(targets, sources, density, potential, 1, 1);
+  simd::ops().laplace(targets.data(), nt, sources.data(), ns, density.data(),
+                      potential.data());
+  return nt * ns * flops_per_interaction();
 }
 
 std::uint64_t LaplaceGradKernel::direct(std::span<const double> targets,
                                         std::span<const double> sources,
                                         std::span<const double> density,
                                         std::span<double> potential) const {
-  return direct_impl<3, 1>(*this, targets, sources, density, potential);
+  const auto [nt, ns] =
+      check_direct_spans(targets, sources, density, potential, 3, 1);
+  simd::ops().laplace_grad(targets.data(), nt, sources.data(), ns,
+                           density.data(), potential.data());
+  return nt * ns * flops_per_interaction();
 }
 
 std::uint64_t YukawaGradKernel::direct(std::span<const double> targets,
@@ -208,13 +251,21 @@ std::uint64_t StokesKernel::direct(std::span<const double> targets,
                                    std::span<const double> sources,
                                    std::span<const double> density,
                                    std::span<double> potential) const {
-  return direct_impl<3, 3>(*this, targets, sources, density, potential);
+  const auto [nt, ns] =
+      check_direct_spans(targets, sources, density, potential, 3, 3);
+  simd::ops().stokes(targets.data(), nt, sources.data(), ns, density.data(),
+                     potential.data());
+  return nt * ns * flops_per_interaction();
 }
 
 std::uint64_t RegularizedStokesKernel::direct(
     std::span<const double> targets, std::span<const double> sources,
     std::span<const double> density, std::span<double> potential) const {
-  return direct_impl<3, 3>(*this, targets, sources, density, potential);
+  const auto [nt, ns] =
+      check_direct_spans(targets, sources, density, potential, 3, 3);
+  simd::ops().stokes_reg(targets.data(), nt, sources.data(), ns,
+                         density.data(), potential.data(), eps2_);
+  return nt * ns * flops_per_interaction();
 }
 
 std::uint64_t YukawaKernel::direct(std::span<const double> targets,

@@ -70,10 +70,15 @@ class Kernel {
   /// accumulated into. Returns the flop count of the evaluation.
   ///
   /// Target-tiled (tile of ~32 targets, source loop outside the tile) so
-  /// the inner loop vectorizes; concrete kernels override with the same
-  /// tiling but a statically inlined block(), preserving the per-target
-  /// source accumulation order (results are bitwise identical to the
-  /// naive loop).
+  /// the inner loop vectorizes. The rsqrt-based kernels (Laplace,
+  /// Laplace-grad, Stokes, regularized Stokes) override this to route
+  /// through the runtime-dispatched SIMD tiers (simd::ops()); the Yukawa
+  /// kernels override with the same tiling but a statically inlined
+  /// block(). In every case sources are visited in order 0..ns-1 per
+  /// target and the potential accumulates in that order, so within one
+  /// SIMD tier results are bitwise deterministic regardless of how
+  /// callers split the target range; across tiers results agree to
+  /// 1e-12 relative (see DESIGN.md, SIMD section).
   virtual std::uint64_t direct(std::span<const double> targets,
                                std::span<const double> sources,
                                std::span<const double> density,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/simd.hpp"
+
 namespace pkifmm::la {
 
 Matrix Matrix::transposed() const {
@@ -70,8 +72,19 @@ void gemm_acc_cols(const Matrix& a, std::span<const double> b,
   // inner loop is contiguous in both B and C. Every c[i][j] sums its
   // k terms in the same order for any column window, which is what
   // makes the parallel column split exact.
+  //
+  // Within a k block, nonzero terms are grouped (up to simd::kAxpynMaxK
+  // at a time) and flushed through the SIMD tier's axpyn, which folds
+  // the group in ascending k with one fused multiply-add each — the
+  // same association as the one-row-at-a-time loop it replaces, so the
+  // k grouping only changes how many times the C row streams through
+  // cache, never the rounding. Zero terms are skipped BEFORE grouping,
+  // matching the old per-row zero skip bitwise.
+  const simd::Ops& ops = simd::ops();
   constexpr std::size_t kKBlock = 64;
   constexpr std::size_t kJBlock = 128;
+  double ak[simd::kAxpynMaxK];
+  const double* bk[simd::kAxpynMaxK];
   for (std::size_t j0 = col0; j0 < col1; j0 += kJBlock) {
     const std::size_t j1 = std::min(col1, j0 + kJBlock);
     for (std::size_t k0 = 0; k0 < a.cols(); k0 += kKBlock) {
@@ -79,12 +92,18 @@ void gemm_acc_cols(const Matrix& a, std::span<const double> b,
       for (std::size_t i = 0; i < a.rows(); ++i) {
         const double* arow = a.data() + i * a.cols();
         double* crow = c.data() + i * ncols;
+        std::size_t nk = 0;
         for (std::size_t k = k0; k < k1; ++k) {
           const double aik = alpha * arow[k];
           if (aik == 0.0) continue;
-          const double* brow = b.data() + k * ncols;
-          for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+          ak[nk] = aik;
+          bk[nk] = b.data() + k * ncols + j0;
+          if (++nk == simd::kAxpynMaxK) {
+            ops.axpyn(ak, bk, nk, crow + j0, j1 - j0);
+            nk = 0;
+          }
         }
+        if (nk > 0) ops.axpyn(ak, bk, nk, crow + j0, j1 - j0);
       }
     }
   }

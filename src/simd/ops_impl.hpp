@@ -1,0 +1,377 @@
+#pragma once
+/// \file ops_impl.hpp
+/// \brief Single-source SIMD kernels, templated over a lane pack.
+///
+/// Every hot routine is written ONCE against the pack vocabulary of
+/// pack.hpp and instantiated per tier in tier_{scalar,avx2,avx512}.cpp
+/// (each TU compiled with its own -m flags; see simd/CMakeLists.txt).
+/// make_ops<P>() assembles a tier's dispatch table.
+///
+/// Numerical contracts (asserted by tests/test_simd.cpp and the
+/// forced-tier sweeps in test_eval_modes/test_eval_threads):
+///
+///  - Per-element arithmetic is identical between a tier's full-width
+///    body and its masked tail, so results are bitwise independent of
+///    where callers place window/chunk boundaries. This is what
+///    preserves the bitwise-determinism-per-thread-count contract of
+///    the threaded evaluator within one tier.
+///  - Across tiers, results agree to 1e-12 relative (FMA contraction
+///    and lane-width differences only; no reassociation of any
+///    per-target/per-element reduction: sources are always accumulated
+///    in index order, one target per lane).
+///  - Flop accounting is done by the callers from analytic models, so
+///    flop counts are exactly equal across tiers by construction.
+///
+/// The direct kernels use the exafmm-style source-tiled x
+/// target-vector-lane shape: a group of P::kWidth targets is staged
+/// into SoA registers, all sources stream over the group (broadcast
+/// position + density), and each lane accumulates its own target's
+/// potential in source order. Tail groups pad coordinates by
+/// replicating the first target and simply skip the dead lanes at
+/// writeback. Coincident points are suppressed branch-free with an
+/// r2 == 0 lane mask — the same predicate every scalar kernel::block
+/// uses (see the unified guard in kernels/kernel.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+
+#include "simd/pack.hpp"
+#include "simd/simd.hpp"
+
+namespace pkifmm::simd::impl {
+
+inline constexpr double kOneOver4Pi = 1.0 / (4.0 * std::numbers::pi);
+inline constexpr double kOneOver8Pi = 1.0 / (8.0 * std::numbers::pi);
+
+// ---------------------------------------------------------------------------
+// axpyn: y[j] += sum_{r < NK} a[r] * x[r][j]  (k terms in ascending r
+// order, each folded with one fmadd — the same association as NK
+// successive axpy passes, so k-blocking is a pure bandwidth win).
+// ---------------------------------------------------------------------------
+
+template <class P, int NK>
+void axpyn_fixed(const double* a, const double* const* xs, double* y,
+                 std::size_t n) {
+  typename P::V va[NK];
+  for (int r = 0; r < NK; ++r) va[r] = P::set1(a[r]);
+  constexpr std::size_t W = P::kWidth;
+  std::size_t j = 0;
+  for (; j + W <= n; j += W) {
+    typename P::V acc = P::loadu(y + j);
+    for (int r = 0; r < NK; ++r)
+      acc = P::fmadd(va[r], P::loadu(xs[r] + j), acc);
+    P::storeu(y + j, acc);
+  }
+  if (j < n) {
+    const typename P::M m = P::tail_mask(n - j);
+    typename P::V acc = P::maskz_loadu(m, y + j);
+    for (int r = 0; r < NK; ++r)
+      acc = P::fmadd(va[r], P::maskz_loadu(m, xs[r] + j), acc);
+    P::mask_storeu(y + j, m, acc);
+  }
+}
+
+template <class P>
+void axpyn_t(const double* a, const double* const* xs, std::size_t nk,
+             double* y, std::size_t n) {
+  switch (nk) {
+    case 1: axpyn_fixed<P, 1>(a, xs, y, n); break;
+    case 2: axpyn_fixed<P, 2>(a, xs, y, n); break;
+    case 3: axpyn_fixed<P, 3>(a, xs, y, n); break;
+    case 4: axpyn_fixed<P, 4>(a, xs, y, n); break;
+    default: break;  // callers pass 1..4 (kAxpynMaxK); 0 is a no-op
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cmac: acc[i] += g[i] * f[i] over n interleaved complex values.
+// Vector tiers use the dup-even/dup-odd/fmaddsub idiom (W/2 complex
+// per vector); the scalar tier keeps the pre-SIMD two-product form.
+// ---------------------------------------------------------------------------
+
+template <class P>
+void cmac_t(const double* g, const double* f, double* acc, std::size_t n) {
+  if constexpr (P::kWidth == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double gr = g[2 * i], gi = g[2 * i + 1];
+      const double fr = f[2 * i], fi = f[2 * i + 1];
+      acc[2 * i] += gr * fr - gi * fi;
+      acc[2 * i + 1] += gr * fi + gi * fr;
+    }
+  } else {
+    constexpr std::size_t W = P::kWidth;
+    const std::size_t nd = 2 * n;  // doubles
+    std::size_t i = 0;
+    for (; i + W <= nd; i += W) {
+      const typename P::V vg = P::loadu(g + i);
+      const typename P::V vf = P::loadu(f + i);
+      const typename P::V t = P::mul(P::dup_odd(vg), P::swap_pairs(vf));
+      const typename P::V r = P::fmaddsub(P::dup_even(vg), vf, t);
+      P::storeu(acc + i, P::add(P::loadu(acc + i), r));
+    }
+    if (i < nd) {
+      // Complex values are pairs of doubles, so the remainder is even
+      // and the in-pair shuffles never cross the mask edge.
+      const typename P::M m = P::tail_mask(nd - i);
+      const typename P::V vg = P::maskz_loadu(m, g + i);
+      const typename P::V vf = P::maskz_loadu(m, f + i);
+      const typename P::V t = P::mul(P::dup_odd(vg), P::swap_pairs(vf));
+      const typename P::V r = P::fmaddsub(P::dup_even(vg), vf, t);
+      P::mask_storeu(acc + i, m, P::add(P::maskz_loadu(m, acc + i), r));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fft_bfly: one radix-2 butterfly block, v = b * w (w = twiddle with
+// sgn applied to its imaginary part), b = u - v, u = u + v, over
+// `half` interleaved complex values. The complex product reuses the
+// cmac idiom with g := w, f := b. The sign is folded into the twiddle
+// vector by an even/sgn lane mask multiply, matching the scalar
+// `wi = sgn * tw[...]` exactly.
+// ---------------------------------------------------------------------------
+
+template <class P>
+void fft_bfly_t(double* u, double* b, const double* tw, double sgn,
+                std::size_t half) {
+  if constexpr (P::kWidth == 1) {
+    for (std::size_t j = 0; j < half; ++j) {
+      const double wr = tw[2 * j];
+      const double wi = sgn * tw[2 * j + 1];
+      const double br = b[2 * j], bi = b[2 * j + 1];
+      const double vr = br * wr - bi * wi;
+      const double vi = br * wi + bi * wr;
+      const double ur = u[2 * j], ui = u[2 * j + 1];
+      u[2 * j] = ur + vr;
+      u[2 * j + 1] = ui + vi;
+      b[2 * j] = ur - vr;
+      b[2 * j + 1] = ui - vi;
+    }
+  } else {
+    constexpr std::size_t W = P::kWidth;
+    double sbuf[W];
+    for (std::size_t l = 0; l < W; ++l) sbuf[l] = (l & 1) ? sgn : 1.0;
+    const typename P::V vsgn = P::loadu(sbuf);
+    const std::size_t nd = 2 * half;
+    std::size_t i = 0;
+    for (; i + W <= nd; i += W) {
+      const typename P::V w = P::mul(P::loadu(tw + i), vsgn);
+      const typename P::V vb = P::loadu(b + i);
+      const typename P::V t = P::mul(P::dup_odd(w), P::swap_pairs(vb));
+      const typename P::V v = P::fmaddsub(P::dup_even(w), vb, t);
+      const typename P::V vu = P::loadu(u + i);
+      P::storeu(u + i, P::add(vu, v));
+      P::storeu(b + i, P::sub(vu, v));
+    }
+    if (i < nd) {
+      // nd is even, so the in-pair shuffles never cross the mask edge.
+      const typename P::M m = P::tail_mask(nd - i);
+      const typename P::V w = P::mul(P::maskz_loadu(m, tw + i), vsgn);
+      const typename P::V vb = P::maskz_loadu(m, b + i);
+      const typename P::V t = P::mul(P::dup_odd(w), P::swap_pairs(vb));
+      const typename P::V v = P::fmaddsub(P::dup_even(w), vb, t);
+      const typename P::V vu = P::maskz_loadu(m, u + i);
+      P::mask_storeu(u + i, m, P::add(vu, v));
+      P::mask_storeu(b + i, m, P::sub(vu, v));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct kernels. Shared staging: W targets -> SoA lanes (tail lanes
+// replicate target 0 and are dropped at writeback).
+// ---------------------------------------------------------------------------
+
+template <class P>
+struct TargetGroup {
+  typename P::V x, y, z;
+  std::size_t lanes;  ///< valid lane count (tail groups < kWidth)
+};
+
+template <class P>
+TargetGroup<P> load_targets(const double* trg, std::size_t t0,
+                            std::size_t nt) {
+  constexpr std::size_t W = P::kWidth;
+  const std::size_t lanes = nt - t0 < W ? nt - t0 : W;
+  double bx[W], by[W], bz[W];
+  for (std::size_t l = 0; l < lanes; ++l) {
+    bx[l] = trg[3 * (t0 + l) + 0];
+    by[l] = trg[3 * (t0 + l) + 1];
+    bz[l] = trg[3 * (t0 + l) + 2];
+  }
+  for (std::size_t l = lanes; l < W; ++l) {
+    bx[l] = bx[0];
+    by[l] = by[0];
+    bz[l] = bz[0];
+  }
+  return {P::loadu(bx), P::loadu(by), P::loadu(bz), lanes};
+}
+
+/// f[(t0+l)*stride + comp] += lane l of acc, valid lanes only.
+template <class P>
+void store_lanes_acc(double* f, std::size_t t0, int stride, int comp,
+                     typename P::V acc, std::size_t lanes) {
+  double out[P::kWidth];
+  P::storeu(out, acc);
+  for (std::size_t l = 0; l < lanes; ++l)
+    f[(t0 + l) * static_cast<std::size_t>(stride) + comp] += out[l];
+}
+
+/// Laplace single layer: f[t] += q_s / (4 pi |x_t - y_s|).
+template <class P>
+void direct_laplace_t(const double* trg, std::size_t nt, const double* src,
+                      std::size_t ns, const double* q, double* f) {
+  const typename P::V one = P::set1(1.0);
+  for (std::size_t t0 = 0; t0 < nt; t0 += P::kWidth) {
+    const TargetGroup<P> tg = load_targets<P>(trg, t0, nt);
+    typename P::V acc = P::zero();
+    for (std::size_t s = 0; s < ns; ++s) {
+      const typename P::V dx = P::sub(tg.x, P::set1(src[3 * s + 0]));
+      const typename P::V dy = P::sub(tg.y, P::set1(src[3 * s + 1]));
+      const typename P::V dz = P::sub(tg.z, P::set1(src[3 * s + 2]));
+      typename P::V r2 = P::mul(dx, dx);
+      r2 = P::fmadd(dy, dy, r2);
+      r2 = P::fmadd(dz, dz, r2);
+      const typename P::V inv_r =
+          P::zero_where(P::eq(r2, P::zero()), P::div(one, P::sqrt(r2)));
+      acc = P::fmadd(P::set1(kOneOver4Pi * q[s]), inv_r, acc);
+    }
+    store_lanes_acc<P>(f, t0, 1, 0, acc, tg.lanes);
+  }
+}
+
+/// grad_x Laplace: f[t][i] += -d_i q_s / (4 pi |d|^3).
+template <class P>
+void direct_laplace_grad_t(const double* trg, std::size_t nt,
+                           const double* src, std::size_t ns, const double* q,
+                           double* f) {
+  const typename P::V one = P::set1(1.0);
+  for (std::size_t t0 = 0; t0 < nt; t0 += P::kWidth) {
+    const TargetGroup<P> tg = load_targets<P>(trg, t0, nt);
+    typename P::V a0 = P::zero(), a1 = P::zero(), a2 = P::zero();
+    for (std::size_t s = 0; s < ns; ++s) {
+      const typename P::V dx = P::sub(tg.x, P::set1(src[3 * s + 0]));
+      const typename P::V dy = P::sub(tg.y, P::set1(src[3 * s + 1]));
+      const typename P::V dz = P::sub(tg.z, P::set1(src[3 * s + 2]));
+      typename P::V r2 = P::mul(dx, dx);
+      r2 = P::fmadd(dy, dy, r2);
+      r2 = P::fmadd(dz, dz, r2);
+      const typename P::V inv_r =
+          P::zero_where(P::eq(r2, P::zero()), P::div(one, P::sqrt(r2)));
+      const typename P::V inv_r3 =
+          P::mul(P::mul(inv_r, inv_r), inv_r);
+      const typename P::V c =
+          P::mul(P::set1(-kOneOver4Pi * q[s]), inv_r3);
+      a0 = P::fmadd(c, dx, a0);
+      a1 = P::fmadd(c, dy, a1);
+      a2 = P::fmadd(c, dz, a2);
+    }
+    store_lanes_acc<P>(f, t0, 3, 0, a0, tg.lanes);
+    store_lanes_acc<P>(f, t0, 3, 1, a1, tg.lanes);
+    store_lanes_acc<P>(f, t0, 3, 2, a2, tg.lanes);
+  }
+}
+
+/// Stokes single layer (Oseen): using K q = 1/(8 pi) [q / r + d (d.q)/r^3],
+/// f[t][i] += k8 (q_i / r + d_i (d.q) / r^3).
+template <class P>
+void direct_stokes_t(const double* trg, std::size_t nt, const double* src,
+                     std::size_t ns, const double* q, double* f) {
+  const typename P::V one = P::set1(1.0);
+  for (std::size_t t0 = 0; t0 < nt; t0 += P::kWidth) {
+    const TargetGroup<P> tg = load_targets<P>(trg, t0, nt);
+    typename P::V a0 = P::zero(), a1 = P::zero(), a2 = P::zero();
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double q0 = q[3 * s + 0], q1 = q[3 * s + 1], q2 = q[3 * s + 2];
+      const typename P::V dx = P::sub(tg.x, P::set1(src[3 * s + 0]));
+      const typename P::V dy = P::sub(tg.y, P::set1(src[3 * s + 1]));
+      const typename P::V dz = P::sub(tg.z, P::set1(src[3 * s + 2]));
+      typename P::V r2 = P::mul(dx, dx);
+      r2 = P::fmadd(dy, dy, r2);
+      r2 = P::fmadd(dz, dz, r2);
+      const typename P::V inv_r =
+          P::zero_where(P::eq(r2, P::zero()), P::div(one, P::sqrt(r2)));
+      const typename P::V inv_r3 =
+          P::mul(P::mul(inv_r, inv_r), inv_r);
+      typename P::V dq = P::mul(dx, P::set1(q0));
+      dq = P::fmadd(dy, P::set1(q1), dq);
+      dq = P::fmadd(dz, P::set1(q2), dq);
+      const typename P::V s1 = P::mul(P::set1(kOneOver8Pi), inv_r);
+      const typename P::V s3 =
+          P::mul(P::set1(kOneOver8Pi), P::mul(dq, inv_r3));
+      a0 = P::fmadd(s1, P::set1(q0), a0);
+      a1 = P::fmadd(s1, P::set1(q1), a1);
+      a2 = P::fmadd(s1, P::set1(q2), a2);
+      a0 = P::fmadd(s3, dx, a0);
+      a1 = P::fmadd(s3, dy, a1);
+      a2 = P::fmadd(s3, dz, a2);
+    }
+    store_lanes_acc<P>(f, t0, 3, 0, a0, tg.lanes);
+    store_lanes_acc<P>(f, t0, 3, 1, a1, tg.lanes);
+    store_lanes_acc<P>(f, t0, 3, 2, a2, tg.lanes);
+  }
+}
+
+/// Regularized Stokeslet (Cortez): smooth at r = 0, no lane mask —
+/// self-interaction is finite and KEPT, exactly as in the scalar block.
+template <class P>
+void direct_stokes_reg_t(const double* trg, std::size_t nt, const double* src,
+                         std::size_t ns, const double* q, double* f,
+                         double eps2) {
+  const typename P::V one = P::set1(1.0);
+  const typename P::V veps2 = P::set1(eps2);
+  for (std::size_t t0 = 0; t0 < nt; t0 += P::kWidth) {
+    const TargetGroup<P> tg = load_targets<P>(trg, t0, nt);
+    typename P::V a0 = P::zero(), a1 = P::zero(), a2 = P::zero();
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double q0 = q[3 * s + 0], q1 = q[3 * s + 1], q2 = q[3 * s + 2];
+      const typename P::V dx = P::sub(tg.x, P::set1(src[3 * s + 0]));
+      const typename P::V dy = P::sub(tg.y, P::set1(src[3 * s + 1]));
+      const typename P::V dz = P::sub(tg.z, P::set1(src[3 * s + 2]));
+      typename P::V r2 = P::mul(dx, dx);
+      r2 = P::fmadd(dy, dy, r2);
+      r2 = P::fmadd(dz, dz, r2);
+      const typename P::V re2 = P::add(r2, veps2);
+      const typename P::V inv_s = P::div(one, P::sqrt(re2));
+      // 1 / (re2 * sqrt(re2)) = inv_s^3
+      const typename P::V inv =
+          P::mul(P::mul(inv_s, inv_s), inv_s);
+      const typename P::V diag = P::mul(
+          P::set1(kOneOver8Pi),
+          P::mul(P::add(r2, P::set1(2.0 * eps2)), inv));
+      const typename P::V offd = P::mul(P::set1(kOneOver8Pi), inv);
+      typename P::V dq = P::mul(dx, P::set1(q0));
+      dq = P::fmadd(dy, P::set1(q1), dq);
+      dq = P::fmadd(dz, P::set1(q2), dq);
+      const typename P::V s3 = P::mul(offd, dq);
+      a0 = P::fmadd(diag, P::set1(q0), a0);
+      a1 = P::fmadd(diag, P::set1(q1), a1);
+      a2 = P::fmadd(diag, P::set1(q2), a2);
+      a0 = P::fmadd(s3, dx, a0);
+      a1 = P::fmadd(s3, dy, a1);
+      a2 = P::fmadd(s3, dz, a2);
+    }
+    store_lanes_acc<P>(f, t0, 3, 0, a0, tg.lanes);
+    store_lanes_acc<P>(f, t0, 3, 1, a1, tg.lanes);
+    store_lanes_acc<P>(f, t0, 3, 2, a2, tg.lanes);
+  }
+}
+
+template <class P>
+Ops make_ops(Tier tier, const char* name) {
+  Ops t;
+  t.tier = tier;
+  t.name = name;
+  t.width = P::kWidth;
+  t.axpyn = &axpyn_t<P>;
+  t.cmac = &cmac_t<P>;
+  t.fft_bfly = &fft_bfly_t<P>;
+  t.laplace = &direct_laplace_t<P>;
+  t.laplace_grad = &direct_laplace_grad_t<P>;
+  t.stokes = &direct_stokes_t<P>;
+  t.stokes_reg = &direct_stokes_reg_t<P>;
+  return t;
+}
+
+}  // namespace pkifmm::simd::impl

@@ -1,0 +1,20 @@
+/// \file tier_avx2.cpp
+/// \brief AVX2+FMA3 (W = 4) tier. This translation unit is compiled
+/// with -mavx2 -mfma (see simd/CMakeLists.txt) and must stay the ONLY
+/// place Avx2Pack is instantiated: the dispatcher guarantees nothing
+/// here runs unless CPUID reports AVX2+FMA support.
+
+#include "simd/ops_impl.hpp"
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "tier_avx2.cpp must be compiled with -mavx2 -mfma"
+#endif
+
+namespace pkifmm::simd::detail {
+
+const Ops& avx2_ops() {
+  static const Ops table = impl::make_ops<Avx2Pack>(Tier::kAvx2, "avx2");
+  return table;
+}
+
+}  // namespace pkifmm::simd::detail

@@ -1,0 +1,19 @@
+/// \file tier_avx512.cpp
+/// \brief AVX-512 (W = 8) tier. Compiled with -mavx512f -mavx512dq
+/// (see simd/CMakeLists.txt); the ONLY place Avx512Pack is
+/// instantiated, and only reachable through the CPUID dispatcher.
+
+#include "simd/ops_impl.hpp"
+
+#if !defined(__AVX512F__) || !defined(__AVX512DQ__)
+#error "tier_avx512.cpp must be compiled with -mavx512f -mavx512dq"
+#endif
+
+namespace pkifmm::simd::detail {
+
+const Ops& avx512_ops() {
+  static const Ops table = impl::make_ops<Avx512Pack>(Tier::kAvx512, "avx512");
+  return table;
+}
+
+}  // namespace pkifmm::simd::detail

@@ -1,0 +1,16 @@
+/// \file tier_scalar.cpp
+/// \brief Scalar (W = 1) tier — the portable fallback and parity
+/// reference. Compiled with the project's default flags only, so on a
+/// baseline x86-64 (or non-x86) build this tier reproduces the
+/// pre-SIMD arithmetic bitwise.
+
+#include "simd/ops_impl.hpp"
+
+namespace pkifmm::simd::detail {
+
+const Ops& scalar_ops() {
+  static const Ops table = impl::make_ops<ScalarPack>(Tier::kScalar, "scalar");
+  return table;
+}
+
+}  // namespace pkifmm::simd::detail

@@ -16,6 +16,7 @@
 
 #include "core/fmm.hpp"
 #include "kernels/kernel.hpp"
+#include "simd/simd.hpp"
 
 namespace pkifmm::core {
 namespace {
@@ -121,6 +122,42 @@ TEST_P(EvalThreadDeterminism, IdenticalAcrossThreadCounts) {
       ASSERT_TRUE(s.count("sched.tasks")) << "rank " << r;
       EXPECT_GT(s.at("sched.tasks"), 0.0) << "rank " << r;
       ASSERT_TRUE(s.count("sched.uli.busy_seconds")) << "rank " << r;
+    }
+  }
+}
+
+/// Per-tier thread-determinism sweep: the bitwise contract must hold
+/// WITHIN each SIMD tier separately — tier selection changes the
+/// arithmetic (FMA, lane folds), but never makes it depend on the
+/// worker count, because every parallel chunk's masked tail performs
+/// the same per-element operations as the full-width body.
+TEST(EvalSimdTierThreads, BitwiseDeterministicWithinEachTier) {
+  struct TierGuard {
+    ~TierGuard() { simd::clear_forced_tier(); }
+  } guard;
+
+  const Case c{"stokes", Distribution::kEllipsoid, EvalMode::kBatched, false};
+  const int p = 2;
+  for (const simd::Tier t : simd::available_tiers()) {
+    simd::force_tier(t);
+    const ThreadRun base = run_with_threads(c, p, 1);
+    ASSERT_GT(base.pot.size(), 0u) << simd::tier_name(t);
+    for (const int threads : {2, 4}) {
+      const ThreadRun run = run_with_threads(c, p, threads);
+      ASSERT_EQ(base.pot.size(), run.pot.size())
+          << simd::tier_name(t) << " @ " << threads;
+      for (const auto& [gid, comps] : base.pot) {
+        const auto it = run.pot.find(gid);
+        ASSERT_NE(it, run.pot.end()) << "gid " << gid;
+        ASSERT_EQ(comps.size(), it->second.size());
+        for (std::size_t k = 0; k < comps.size(); ++k)
+          EXPECT_EQ(comps[k], it->second[k])
+              << simd::tier_name(t) << " gid " << gid << " comp " << k
+              << " @ " << threads << " threads";
+      }
+      for (int r = 0; r < p; ++r)
+        EXPECT_EQ(base.eval_flops[r], run.eval_flops[r])
+            << simd::tier_name(t) << " rank " << r << " @ " << threads;
     }
   }
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "fft/fft.hpp"
@@ -171,6 +172,22 @@ TEST(NextPow2, Values) {
   EXPECT_EQ(next_pow2(15), 16u);
 }
 
+TEST(NextPow2, LargestPowerOfTwoIsFixpoint) {
+  constexpr std::size_t kMaxPow2 =
+      std::numeric_limits<std::size_t>::max() / 2 + 1;
+  EXPECT_EQ(next_pow2(kMaxPow2), kMaxPow2);
+  EXPECT_EQ(next_pow2(kMaxPow2 - 1), kMaxPow2);
+}
+
+TEST(NextPow2, RejectsUnrepresentableRequest) {
+  // Above the top power of two the doubling loop used to overflow p to
+  // zero and spin forever; it must throw instead.
+  constexpr std::size_t kMaxPow2 =
+      std::numeric_limits<std::size_t>::max() / 2 + 1;
+  EXPECT_ANY_THROW(next_pow2(kMaxPow2 + 1));
+  EXPECT_ANY_THROW(next_pow2(std::numeric_limits<std::size_t>::max()));
+}
+
 TEST(PointwiseMac, Accumulates) {
   std::vector<Complex> g = {Complex(1, 1), Complex(2, 0)};
   std::vector<Complex> f = {Complex(0, 1), Complex(3, 0)};
@@ -217,6 +234,23 @@ TEST(PointwiseMacMany, WindowTouchesOnlyRange) {
                              : before[i];
     EXPECT_LT(std::abs(acc[i] - want), 1e-14) << i;
   }
+}
+
+TEST(PointwiseMacMany, RejectsWindowPastSpectrum) {
+  // The old code clamped end to g.size(), silently truncating the
+  // product; an out-of-range window is a caller bug and must throw.
+  const std::size_t n = 16;
+  const auto g = random_signal(n, 230);
+  auto f = random_signal(n, 231);
+  auto acc = random_signal(n, 232);
+  const Complex* fp = f.data();
+  Complex* ap = acc.data();
+  EXPECT_ANY_THROW(pointwise_mac_many(g, {&fp, 1}, {&ap, 1}, 0, n + 1));
+  EXPECT_ANY_THROW(pointwise_mac_many(g, {&fp, 1}, {&ap, 1}, 8, 4));
+  // In-range windows (including empty and the npos default) are fine.
+  EXPECT_NO_THROW(pointwise_mac_many(g, {&fp, 1}, {&ap, 1}, 4, 4));
+  EXPECT_NO_THROW(pointwise_mac_many(g, {&fp, 1}, {&ap, 1}, 0, n));
+  EXPECT_NO_THROW(pointwise_mac_many(g, {&fp, 1}, {&ap, 1}));
 }
 
 TEST(PointwiseMacChunked, MatchesPerEntryMac) {

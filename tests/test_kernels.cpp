@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "kernels/kernel.hpp"
@@ -128,6 +129,60 @@ TEST(Direct, SkipsCoincidentPoints) {
   const std::vector<double> den = {1.0};
   std::vector<double> pot(1, 0.0);
   k.direct(pts, pts, den, pot);
+  EXPECT_EQ(pot[0], 0.0);
+}
+
+TEST(Block, CoincidentGuardUnifiedAcrossKernels) {
+  // Every singular kernel uses the same r2 == 0.0 predicate. A
+  // negative-zero displacement squares to +0.0 and must hit the guard;
+  // a NaN displacement must propagate (NaN compares false against
+  // zero) instead of being silently mapped to 0, which the old
+  // `r2 > 0.0` ordering in LaplaceKernel did.
+  const double zero[3] = {0.0, 0.0, 0.0};
+  const double nzero[3] = {-0.0, -0.0, -0.0};
+  const double dnan[3] = {std::numeric_limits<double>::quiet_NaN(), 0.0, 0.0};
+
+  LaplaceKernel lap;
+  LaplaceGradKernel grad;
+  StokesKernel stk;
+  YukawaKernel yuk(5.0);
+
+  double v;
+  lap.block(zero, &v);
+  EXPECT_EQ(v, 0.0);
+  lap.block(nzero, &v);
+  EXPECT_EQ(v, 0.0);
+  lap.block(dnan, &v);
+  EXPECT_TRUE(std::isnan(v));
+
+  double g3[3];
+  grad.block(nzero, g3);
+  for (double x : g3) EXPECT_EQ(x, 0.0);
+  grad.block(dnan, g3);
+  EXPECT_TRUE(std::isnan(g3[0]));
+
+  double b9[9];
+  stk.block(nzero, b9);
+  for (double x : b9) EXPECT_EQ(x, 0.0);
+  stk.block(dnan, b9);
+  EXPECT_TRUE(std::isnan(b9[0]));
+
+  yuk.block(nzero, &v);
+  EXPECT_EQ(v, 0.0);
+  yuk.block(dnan, &v);
+  EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(Direct, NegativeZeroCoordinatesStillSkipSelfPair) {
+  // Target at (-0.0, -0.0, -0.0) against a source at (0.0, 0.0, 0.0):
+  // the displacement is -0.0 per axis, r2 == +0.0, so the pair is a
+  // self-interaction and must contribute exactly zero.
+  LaplaceKernel k;
+  const std::vector<double> tgt = {-0.0, -0.0, -0.0};
+  const std::vector<double> src = {0.0, 0.0, 0.0};
+  const std::vector<double> den = {3.0};
+  std::vector<double> pot(1, 0.0);
+  k.direct(tgt, src, den, pot);
   EXPECT_EQ(pot[0], 0.0);
 }
 

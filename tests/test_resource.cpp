@@ -242,6 +242,16 @@ TEST(Trend, TooShortHistoryIsOk) {
   const Json r = trend_analyze({make_record("a", 1.0, 2e6)});
   EXPECT_TRUE(r.at("ok").as_bool());
   EXPECT_EQ(r.at("checked").as_int(), 0);
+  EXPECT_EQ(r.at("window").as_int(), 0);
+}
+
+TEST(Trend, EmptyHistoryIsOkWithNoWindow) {
+  const Json r = trend_analyze({});
+  EXPECT_TRUE(r.at("ok").as_bool());
+  EXPECT_EQ(r.at("checked").as_int(), 0);
+  EXPECT_EQ(r.at("window").as_int(), 0);
+  EXPECT_EQ(r.at("newest_sha").as_string(), "");
+  EXPECT_EQ(r.at("regressions").size(), 0u);
 }
 
 TEST(Trend, StableTrajectoryPasses) {

@@ -1,0 +1,467 @@
+/// \file test_simd.cpp
+/// \brief Contract tests for the runtime-dispatched SIMD tiers:
+/// dispatch/override plumbing, cross-tier numerical parity (<= 1e-12),
+/// bitwise invariance to caller window splits within a tier, and the
+/// unified coincident-point guard (including negative-zero
+/// coordinates).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <span>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+#include "simd/simd.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pkifmm::simd {
+namespace {
+
+double rel_err(std::span<const double> a, std::span<const double> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed, double lo,
+                               double hi) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+/// Restores the pre-test dispatch state after every forced-tier test.
+class SimdTest : public ::testing::Test {
+ protected:
+  void TearDown() override { clear_forced_tier(); }
+};
+
+TEST(SimdTier, NamesRoundTrip) {
+  for (Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512})
+    EXPECT_EQ(parse_tier(tier_name(t)), t);
+}
+
+TEST(SimdTier, ParseRejectsJunk) {
+  EXPECT_THROW(parse_tier("sse9"), CheckFailure);
+  EXPECT_THROW(parse_tier(""), CheckFailure);
+  EXPECT_THROW(parse_tier("AVX2"), CheckFailure);  // case-sensitive
+}
+
+TEST(SimdTier, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(tier_compiled(Tier::kScalar));
+  EXPECT_TRUE(tier_supported(Tier::kScalar));
+  const auto tiers = available_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), Tier::kScalar);
+  // Ascending, no duplicates.
+  for (std::size_t i = 1; i < tiers.size(); ++i)
+    EXPECT_LT(tiers[i - 1], tiers[i]);
+}
+
+TEST(SimdTier, DetectedTierIsSupported) {
+  const Tier t = detect_tier();
+  EXPECT_TRUE(tier_supported(t));
+  const Ops& o = ops_for_tier(t);
+  EXPECT_EQ(o.tier, t);
+  EXPECT_GE(o.width, 1u);
+}
+
+TEST(SimdTier, TableShapePerTier) {
+  for (Tier t : available_tiers()) {
+    const Ops& o = ops_for_tier(t);
+    EXPECT_EQ(o.tier, t);
+    EXPECT_STREQ(o.name, tier_name(t));
+    const std::size_t want =
+        t == Tier::kScalar ? 1u : (t == Tier::kAvx2 ? 4u : 8u);
+    EXPECT_EQ(o.width, want);
+    EXPECT_NE(o.axpyn, nullptr);
+    EXPECT_NE(o.cmac, nullptr);
+    EXPECT_NE(o.fft_bfly, nullptr);
+    EXPECT_NE(o.laplace, nullptr);
+    EXPECT_NE(o.laplace_grad, nullptr);
+    EXPECT_NE(o.stokes, nullptr);
+    EXPECT_NE(o.stokes_reg, nullptr);
+  }
+}
+
+TEST_F(SimdTest, ForceTierSticksAndClears) {
+  for (Tier t : available_tiers()) {
+    force_tier(t);
+    EXPECT_EQ(active_tier(), t);
+    EXPECT_EQ(ops().tier, t);
+  }
+  clear_forced_tier();
+  // Re-resolves from CPUID (no PKIFMM_SIMD set under ctest by default;
+  // if it is set it can only lower the tier, which is still supported).
+  EXPECT_TRUE(tier_supported(active_tier()));
+}
+
+// ---------------------------------------------------------------------------
+// axpyn
+// ---------------------------------------------------------------------------
+
+/// Sequential reference: nk single-row passes, ascending r.
+void axpyn_ref(const double* a, const double* const* xs, std::size_t nk,
+               double* y, std::size_t n) {
+  for (std::size_t r = 0; r < nk; ++r)
+    for (std::size_t j = 0; j < n; ++j) y[j] += a[r] * xs[r][j];
+}
+
+TEST_F(SimdTest, AxpynMatchesSequentialPasses) {
+  // Sizes straddle every tier's vector width to exercise masked tails.
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u,
+                              31u, 33u, 128u}) {
+    for (std::size_t nk = 1; nk <= kAxpynMaxK; ++nk) {
+      const auto a = random_vec(nk, 10 * n + nk, -2.0, 2.0);
+      std::vector<std::vector<double>> xs;
+      std::vector<const double*> xp;
+      for (std::size_t r = 0; r < nk; ++r) {
+        xs.push_back(random_vec(n, 100 * n + r, -1.0, 1.0));
+        xp.push_back(xs.back().data());
+      }
+      const auto y0 = random_vec(n, 7 * n + nk, -1.0, 1.0);
+
+      auto ref = y0;
+      axpyn_ref(a.data(), xp.data(), nk, ref.data(), n);
+
+      for (Tier t : available_tiers()) {
+        auto y = y0;
+        ops_for_tier(t).axpyn(a.data(), xp.data(), nk, y.data(), n);
+        EXPECT_LT(rel_err(y, ref), 1e-12)
+            << tier_name(t) << " n=" << n << " nk=" << nk;
+        if (t == Tier::kScalar) {
+          // The scalar tier folds k terms in the same association as
+          // the sequential passes and cannot contract (its TU has no
+          // FMA): bitwise equal.
+          for (std::size_t j = 0; j < n; ++j)
+            EXPECT_EQ(y[j], ref[j]) << "n=" << n << " nk=" << nk;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, AxpynBitwiseInvariantToWindowSplit) {
+  // y[j] depends only on index j, so computing [0, n) in one call or as
+  // [0, cut) + [cut, n) must agree BITWISE — this is what makes the
+  // deterministic column-window chunking of gemm_acc_cols tier-safe.
+  const std::size_t n = 67;
+  const std::size_t nk = 3;
+  const auto a = random_vec(nk, 1, -2.0, 2.0);
+  std::vector<std::vector<double>> xs;
+  std::vector<const double*> xp;
+  for (std::size_t r = 0; r < nk; ++r) {
+    xs.push_back(random_vec(n, 2 + r, -1.0, 1.0));
+    xp.push_back(xs.back().data());
+  }
+  const auto y0 = random_vec(n, 9, -1.0, 1.0);
+
+  for (Tier t : available_tiers()) {
+    const Ops& o = ops_for_tier(t);
+    auto whole = y0;
+    o.axpyn(a.data(), xp.data(), nk, whole.data(), n);
+    for (const std::size_t cut : {1u, 3u, 8u, 13u, 32u, 66u}) {
+      auto split = y0;
+      std::vector<const double*> xhi;
+      for (std::size_t r = 0; r < nk; ++r) xhi.push_back(xp[r] + cut);
+      o.axpyn(a.data(), xp.data(), nk, split.data(), cut);
+      o.axpyn(a.data(), xhi.data(), nk, split.data() + cut, n - cut);
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_EQ(split[j], whole[j])
+            << tier_name(t) << " cut=" << cut << " j=" << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cmac
+// ---------------------------------------------------------------------------
+
+/// Hand-rolled two-product reference (the pre-SIMD pointwise_mac body).
+void cmac_ref(const double* g, const double* f, double* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gr = g[2 * i], gi = g[2 * i + 1];
+    const double fr = f[2 * i], fi = f[2 * i + 1];
+    acc[2 * i] += gr * fr - gi * fi;
+    acc[2 * i + 1] += gr * fi + gi * fr;
+  }
+}
+
+TEST_F(SimdTest, CmacMatchesReference) {
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 31u,
+                              1024u}) {
+    const auto g = random_vec(2 * n, 3 * n, -1.0, 1.0);
+    const auto f = random_vec(2 * n, 5 * n, -1.0, 1.0);
+    const auto a0 = random_vec(2 * n, 7 * n, -1.0, 1.0);
+
+    auto ref = a0;
+    cmac_ref(g.data(), f.data(), ref.data(), n);
+
+    for (Tier t : available_tiers()) {
+      auto acc = a0;
+      ops_for_tier(t).cmac(g.data(), f.data(), acc.data(), n);
+      EXPECT_LT(rel_err(acc, ref), 1e-12) << tier_name(t) << " n=" << n;
+      if (t == Tier::kScalar) {
+        for (std::size_t i = 0; i < 2 * n; ++i)
+          EXPECT_EQ(acc[i], ref[i]) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, CmacBitwiseInvariantToChunking) {
+  const std::size_t n = 53;  // odd complex count -> tails everywhere
+  const auto g = random_vec(2 * n, 41, -1.0, 1.0);
+  const auto f = random_vec(2 * n, 42, -1.0, 1.0);
+  const auto a0 = random_vec(2 * n, 43, -1.0, 1.0);
+
+  for (Tier t : available_tiers()) {
+    const Ops& o = ops_for_tier(t);
+    auto whole = a0;
+    o.cmac(g.data(), f.data(), whole.data(), n);
+    for (const std::size_t cut : {1u, 2u, 5u, 13u, 26u, 52u}) {
+      auto split = a0;
+      o.cmac(g.data(), f.data(), split.data(), cut);
+      o.cmac(g.data() + 2 * cut, f.data() + 2 * cut, split.data() + 2 * cut,
+             n - cut);
+      for (std::size_t i = 0; i < 2 * n; ++i)
+        EXPECT_EQ(split[i], whole[i])
+            << tier_name(t) << " cut=" << cut << " i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fft_bfly
+// ---------------------------------------------------------------------------
+
+// Reference: the scalar radix-2 butterfly block, same association as
+// the pre-SIMD Fft3d::line_fft inner loop.
+void fft_bfly_ref(double* u, double* b, const double* tw, double sgn,
+                  std::size_t half) {
+  for (std::size_t j = 0; j < half; ++j) {
+    const double wr = tw[2 * j];
+    const double wi = sgn * tw[2 * j + 1];
+    const double br = b[2 * j], bi = b[2 * j + 1];
+    const double vr = br * wr - bi * wi;
+    const double vi = br * wi + bi * wr;
+    const double ur = u[2 * j], ui = u[2 * j + 1];
+    u[2 * j] = ur + vr;
+    u[2 * j + 1] = ui + vi;
+    b[2 * j] = ur - vr;
+    b[2 * j + 1] = ui - vi;
+  }
+}
+
+TEST_F(SimdTest, FftBflyMatchesScalarButterflies) {
+  // half values straddle every vector width, including non-powers of
+  // two (the op's contract is any half; Fft3d only uses powers of two).
+  for (const std::size_t half : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 31u}) {
+    for (const double sgn : {1.0, -1.0}) {
+      const auto u0 = random_vec(2 * half, 11 * half, -1.0, 1.0);
+      const auto b0 = random_vec(2 * half, 13 * half, -1.0, 1.0);
+      // Unit-magnitude twiddles like the real table.
+      auto tw = random_vec(2 * half, 17 * half, -1.0, 1.0);
+      for (std::size_t j = 0; j < half; ++j) {
+        const double norm =
+            std::sqrt(tw[2 * j] * tw[2 * j] + tw[2 * j + 1] * tw[2 * j + 1]);
+        tw[2 * j] /= norm;
+        tw[2 * j + 1] /= norm;
+      }
+
+      auto uref = u0, bref = b0;
+      fft_bfly_ref(uref.data(), bref.data(), tw.data(), sgn, half);
+
+      for (Tier t : available_tiers()) {
+        auto u = u0, b = b0;
+        ops_for_tier(t).fft_bfly(u.data(), b.data(), tw.data(), sgn, half);
+        EXPECT_LT(rel_err(u, uref), 1e-12)
+            << tier_name(t) << " half=" << half << " sgn=" << sgn;
+        EXPECT_LT(rel_err(b, bref), 1e-12)
+            << tier_name(t) << " half=" << half << " sgn=" << sgn;
+        if (t == Tier::kScalar) {
+          for (std::size_t i = 0; i < 2 * half; ++i) {
+            EXPECT_EQ(u[i], uref[i]) << "half=" << half << " i=" << i;
+            EXPECT_EQ(b[i], bref[i]) << "half=" << half << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct kernels
+// ---------------------------------------------------------------------------
+
+struct DirectCase {
+  const char* name;
+  int sd, td;
+};
+
+const DirectCase kDirectCases[] = {
+    {"laplace", 1, 1}, {"stokes", 3, 3}, {"stokes-reg", 3, 3}};
+
+TEST_F(SimdTest, DirectKernelsCrossTierParityAndFlops) {
+  for (const DirectCase& dc : kDirectCases) {
+    const auto k = kernels::make_kernel(dc.name);
+    // nt values straddle vector widths (tails of every size up to 8).
+    for (const std::size_t nt : {1u, 2u, 3u, 5u, 7u, 8u, 9u, 13u, 64u}) {
+      const std::size_t ns = 2 * nt + 3;
+      const auto tgt = random_vec(3 * nt, 1000 + nt, 0.0, 1.0);
+      const auto src = random_vec(3 * ns, 2000 + nt, 0.0, 1.0);
+      const auto den = random_vec(ns * dc.sd, 3000 + nt, -1.0, 1.0);
+
+      force_tier(Tier::kScalar);
+      std::vector<double> pot_scalar(nt * dc.td, 0.0);
+      const auto flops_scalar = k->direct(tgt, src, den, pot_scalar);
+      EXPECT_EQ(flops_scalar, nt * ns * k->flops_per_interaction());
+
+      for (Tier t : available_tiers()) {
+        force_tier(t);
+        std::vector<double> pot(nt * dc.td, 0.0);
+        const auto flops = k->direct(tgt, src, den, pot);
+        EXPECT_EQ(flops, flops_scalar) << dc.name << " " << tier_name(t);
+        EXPECT_LT(rel_err(pot, pot_scalar), 1e-12)
+            << dc.name << " " << tier_name(t) << " nt=" << nt;
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, LaplaceGradCrossTierParity) {
+  auto base = kernels::make_kernel("laplace");
+  const auto k = base->gradient();
+  ASSERT_NE(k, nullptr);
+  for (const std::size_t nt : {1u, 3u, 7u, 9u, 33u}) {
+    const std::size_t ns = nt + 5;
+    const auto tgt = random_vec(3 * nt, 50 + nt, 0.0, 1.0);
+    const auto src = random_vec(3 * ns, 60 + nt, 0.0, 1.0);
+    const auto den = random_vec(ns, 70 + nt, -1.0, 1.0);
+
+    force_tier(Tier::kScalar);
+    std::vector<double> ref(3 * nt, 0.0);
+    const auto flops_ref = k->direct(tgt, src, den, ref);
+
+    for (Tier t : available_tiers()) {
+      force_tier(t);
+      std::vector<double> pot(3 * nt, 0.0);
+      EXPECT_EQ(k->direct(tgt, src, den, pot), flops_ref);
+      EXPECT_LT(rel_err(pot, ref), 1e-12) << tier_name(t) << " nt=" << nt;
+    }
+  }
+}
+
+TEST_F(SimdTest, DirectBitwiseInvariantToTargetSplit) {
+  // Splitting the target range (as the threaded ULI tiles do) must be
+  // bitwise invisible within a tier: each target's source accumulation
+  // is independent and runs in source order.
+  const auto k = kernels::make_kernel("stokes");
+  const std::size_t nt = 29, ns = 17;
+  const auto tgt = random_vec(3 * nt, 81, 0.0, 1.0);
+  const auto src = random_vec(3 * ns, 82, 0.0, 1.0);
+  const auto den = random_vec(3 * ns, 83, -1.0, 1.0);
+
+  for (Tier t : available_tiers()) {
+    force_tier(t);
+    std::vector<double> whole(3 * nt, 0.0);
+    k->direct(tgt, src, den, whole);
+    for (const std::size_t cut : {1u, 4u, 7u, 16u, 28u}) {
+      std::vector<double> split(3 * nt, 0.0);
+      std::span<const double> ts(tgt);
+      std::span<double> ps(split);
+      k->direct(ts.subspan(0, 3 * cut), src, den, ps.subspan(0, 3 * cut));
+      k->direct(ts.subspan(3 * cut), src, den, ps.subspan(3 * cut));
+      for (std::size_t i = 0; i < split.size(); ++i)
+        EXPECT_EQ(split[i], whole[i])
+            << tier_name(t) << " cut=" << cut << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdTest, CoincidentPointsSuppressedOnEveryTier) {
+  // targets == sources: the diagonal pair has r2 == 0 and must
+  // contribute exactly zero on every tier (lane mask == scalar guard);
+  // off-diagonal pairs still contribute. Point 2 is stored with
+  // negative-zero coordinates: (-0.0)^2 == +0.0, so it must hit the
+  // guard exactly like +0.0.
+  std::vector<double> pts = {0.25, 0.5,  0.75,  //
+                             0.5,  0.25, 0.5,   //
+                             -0.0, -0.0, -0.0,  //
+                             0.75, 0.75, 0.25,  //
+                             0.1,  0.9,  0.4};
+  const std::size_t n = pts.size() / 3;
+
+  for (const char* name : {"laplace", "stokes"}) {
+    const auto k = kernels::make_kernel(name);
+    const int sd = k->source_dim(), td = k->target_dim();
+    const auto den = random_vec(n * sd, 91, -1.0, 1.0);
+
+    // Reference from the scalar block() path (shares the guard).
+    std::vector<double> ref(n * td, 0.0);
+    std::vector<double> blk(td * sd);
+    for (std::size_t t = 0; t < n; ++t)
+      for (std::size_t s = 0; s < n; ++s) {
+        const double d[3] = {pts[3 * t] - pts[3 * s],
+                             pts[3 * t + 1] - pts[3 * s + 1],
+                             pts[3 * t + 2] - pts[3 * s + 2]};
+        k->block(d, blk.data());
+        for (int i = 0; i < td; ++i)
+          for (int j = 0; j < sd; ++j)
+            ref[t * td + i] += blk[i * sd + j] * den[s * sd + j];
+      }
+    for (double v : ref) ASSERT_TRUE(std::isfinite(v));
+
+    for (Tier t : available_tiers()) {
+      force_tier(t);
+      std::vector<double> pot(n * td, 0.0);
+      k->direct(pts, pts, den, pot);
+      for (double v : pot) EXPECT_TRUE(std::isfinite(v)) << name;
+      EXPECT_LT(rel_err(pot, ref), 1e-12) << name << " " << tier_name(t);
+    }
+  }
+}
+
+TEST_F(SimdTest, SinglePointSelfInteractionIsExactlyZero) {
+  // One coincident pair and nothing else: every tier must produce an
+  // exact 0.0 potential (not merely something small).
+  for (const char* name : {"laplace", "stokes"}) {
+    const auto k = kernels::make_kernel(name);
+    const std::vector<double> pt = {0.5, 0.5, 0.5};
+    const auto den =
+        random_vec(static_cast<std::size_t>(k->source_dim()), 17, 1.0, 2.0);
+    for (Tier t : available_tiers()) {
+      force_tier(t);
+      std::vector<double> pot(k->target_dim(), 0.0);
+      k->direct(pt, pt, den, pot);
+      for (double v : pot) EXPECT_EQ(v, 0.0) << name << " " << tier_name(t);
+    }
+  }
+}
+
+TEST_F(SimdTest, RegularizedStokesKeepsSelfInteractionOnEveryTier) {
+  // stokes-reg is smooth at r = 0: the self term is finite and KEPT.
+  const kernels::RegularizedStokesKernel k(0.05);
+  const std::vector<double> pt = {0.5, 0.5, 0.5};
+  const std::vector<double> den = {1.0, 0.0, 0.0};
+  // diag = 1/(4 pi eps) (see test_kernels RegularizedStokes).
+  const double expect = 1.0 / (4.0 * std::numbers::pi * 0.05);
+  for (Tier t : available_tiers()) {
+    force_tier(t);
+    std::vector<double> pot(3, 0.0);
+    k.direct(pt, pt, den, pot);
+    EXPECT_NEAR(pot[0], expect, 1e-12) << tier_name(t);
+    EXPECT_NEAR(pot[1], 0.0, 1e-15) << tier_name(t);
+  }
+}
+
+}  // namespace
+}  // namespace pkifmm::simd

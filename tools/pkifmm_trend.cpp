@@ -18,8 +18,10 @@
 ///       [--report-out=<trend_report.json>]
 ///       [--warn-only]         # exit 0 even on hard regressions
 ///
-/// Exit status: 0 = no regressions, 1 = regression detected,
-/// 2 = bad input (missing/unparseable history, unknown bench).
+/// Exit status: 0 = no regressions (including the first-run case of an
+/// empty history or a single record — nothing to gate against yet),
+/// 1 = regression detected, 2 = bad input (missing/unparseable
+/// history, unknown bench).
 
 #include <algorithm>
 #include <cstdio>
@@ -83,6 +85,19 @@ static int run(int argc, char** argv) {
 
   const std::vector<obs::Json> records = obs::read_run_history(history);
 
+  // An empty history is the normal first-run state (the file is
+  // created by the first --history-out append): there is nothing to
+  // gate against, which is not an error. A MISSING or unparseable file
+  // still exits 2 (read_run_history throws), as does naming a bench
+  // that has records for other benches only — that is a typo, not a
+  // first run.
+  if (records.empty()) {
+    std::printf("pkifmm_trend: no run records yet in %s — no reference "
+                "window to gate against (first run): OK\n",
+                history.c_str());
+    return 0;
+  }
+
   // Group by bench, preserving file (= chronological) order per group.
   std::vector<std::string> bench_order;
   std::map<std::string, std::vector<obs::Json>> groups;
@@ -93,8 +108,7 @@ static int run(int argc, char** argv) {
     groups[bench].push_back(rec);
   }
   if (groups.empty()) {
-    std::fprintf(stderr, "pkifmm_trend: no records%s%s in %s\n",
-                 want_bench.empty() ? "" : " for bench ",
+    std::fprintf(stderr, "pkifmm_trend: no records for bench %s in %s\n",
                  want_bench.c_str(), history.c_str());
     return 2;
   }
@@ -133,13 +147,20 @@ static int run(int argc, char** argv) {
     const obs::Json analysis = obs::trend_analyze(recs, opt);
     const bool ok = analysis.at("ok").as_bool();
     all_ok = all_ok && ok;
-    std::printf("newest vs median of %lld prior: %s (%lld checks, "
-                "%zu regression(s), %zu warning(s))\n",
-                static_cast<long long>(analysis.at("window").as_int()),
-                ok ? "OK" : "REGRESSION",
-                static_cast<long long>(analysis.at("checked").as_int()),
-                analysis.at("regressions").size(),
-                analysis.at("warnings").size());
+    if (analysis.at("window").as_int() == 0) {
+      // A single record has no prior window — say so instead of the
+      // baffling "median of 0 prior: OK (0 checks)".
+      std::printf("only one record — no reference window to gate against "
+                  "(first run): OK\n");
+    } else {
+      std::printf("newest vs median of %lld prior: %s (%lld checks, "
+                  "%zu regression(s), %zu warning(s))\n",
+                  static_cast<long long>(analysis.at("window").as_int()),
+                  ok ? "OK" : "REGRESSION",
+                  static_cast<long long>(analysis.at("checked").as_int()),
+                  analysis.at("regressions").size(),
+                  analysis.at("warnings").size());
+    }
     print_findings("Regressions (hard)", analysis.at("regressions"));
     print_findings("Warnings (hw/mem, advisory)", analysis.at("warnings"));
     std::printf("\n");

@@ -25,10 +25,12 @@ struct MetricsLog {
   std::string history_path;
   std::string git_sha;
   obs::Json runs = obs::Json::array();
-  obs::Json trace_events = obs::Json::array();
+  std::vector<obs::Json> trace_runs;  ///< one chrome doc per run
   obs::Json first_config;  ///< run.v1 config = first recorded run's
   std::vector<std::vector<obs::RankMetrics>> summary_runs;
   int run_index = 0;
+  bool flow_trace = false;  ///< --flow-trace: obs/flow.hpp tracing
+  int flow_capacity = 0;    ///< --flow-capacity (0 = library default)
   std::mutex mu;
 
   bool enabled() const {
@@ -36,11 +38,6 @@ struct MetricsLog {
            !summary_path.empty() || !history_path.empty();
   }
 };
-
-/// Multi-run traces keep pid = rank within a run (merged-timeline
-/// scheme, see obs/export.hpp) and shift each recorded run into its
-/// own pid block so sweeps stay separable in the viewer.
-constexpr std::int64_t kTraceRunPidStride = 1 << 20;
 
 MetricsLog& metrics_log() {
   static MetricsLog log;
@@ -60,11 +57,14 @@ void flush_metrics() try {
                 log.run_index);
   }
   if (!log.trace_path.empty()) {
-    obs::Json doc = obs::Json::object();
-    doc.set("traceEvents", std::move(log.trace_events));
-    doc.set("displayTimeUnit", "ms");
-    obs::write_json_file(log.trace_path, doc);
-    std::printf("[metrics] wrote %s\n", log.trace_path.c_str());
+    // Merge at flush so the pid stride derives from the actual rank
+    // counts across all recorded runs (obs::merge_chrome_traces) —
+    // within a run pid = rank, each run gets its own pid block, and
+    // flow-arrow ids stay unique per repetition.
+    obs::write_json_file(log.trace_path,
+                         obs::merge_chrome_traces(log.trace_runs));
+    std::printf("[metrics] wrote %s (%zu runs merged)\n",
+                log.trace_path.c_str(), log.trace_runs.size());
   }
   if (!log.summary_path.empty() || !log.history_path.empty()) {
     const obs::Json summary =
@@ -125,8 +125,16 @@ void metrics_init(const Cli& cli, const std::string& bench_name) {
     if (const char* v = std::getenv(env)) sha = v;
   }
   log.git_sha = sha.empty() ? "unknown" : sha;
+  log.flow_trace = cli.has("flow-trace");
+  log.flow_capacity = cli.get_int("flow-capacity", 0);
   log.first_config = obs::Json::object();
   if (log.enabled()) std::atexit(flush_metrics);
+}
+
+void apply_flow_flags(core::FmmOptions& opts) {
+  const MetricsLog& log = metrics_log();
+  if (log.flow_trace) opts.flow_trace = true;
+  if (log.flow_capacity > 0) opts.flow_capacity = log.flow_capacity;
 }
 
 void record_run(const std::string& kind, const ExperimentConfig& cfg,
@@ -216,18 +224,10 @@ void record_run(const std::string& kind, const ExperimentConfig& cfg,
   run.set("metrics", obs::metrics_to_json(ranks));
   log.runs.push_back(std::move(run));
 
-  // Chrome trace: within a run pid = rank (merged-timeline scheme);
-  // each recorded run is shifted into its own pid block so sweeps stay
-  // separable.
-  if (!log.trace_path.empty()) {
-    obs::Json trace = obs::chrome_trace_json(ranks);
-    for (const obs::Json& ev : trace.at("traceEvents").items()) {
-      obs::Json copy = ev;
-      copy.set("pid", log.run_index * kTraceRunPidStride +
-                          ev.at("pid").as_int());
-      log.trace_events.push_back(std::move(copy));
-    }
-  }
+  // Chrome trace: buffer one per-run document; flush_metrics merges
+  // them with a pid stride derived from the actual rank counts.
+  if (!log.trace_path.empty())
+    log.trace_runs.push_back(obs::chrome_trace_json(ranks));
   if (!log.summary_path.empty() || !log.history_path.empty())
     log.summary_runs.push_back(std::move(ranks));
   ++log.run_index;
@@ -375,8 +375,10 @@ std::vector<double> GpuRun::eval_times() const {
 }
 
 GpuRun run_gpu_fmm(const ExperimentConfig& cfg, int block) {
-  const core::Tables& base = tables_for("laplace", cfg.opts);
-  const core::Tables tables = base.with_options(cfg.opts);
+  core::FmmOptions opts = cfg.opts;
+  apply_flow_flags(opts);
+  const core::Tables& base = tables_for("laplace", opts);
+  const core::Tables tables = base.with_options(opts);
 
   GpuRun run;
   run.dev_kernels.resize(cfg.p);
@@ -425,8 +427,10 @@ const core::Tables& tables_for(const std::string& kernel,
 }
 
 Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel) {
-  const core::Tables& base = tables_for(kernel, cfg.opts);
-  const core::Tables tables = base.with_options(cfg.opts);
+  core::FmmOptions opts = cfg.opts;
+  apply_flow_flags(opts);
+  const core::Tables& base = tables_for(kernel, opts);
+  const core::Tables tables = base.with_options(opts);
 
   Experiment exp;
   exp.reports = comm::Runtime::run(cfg.p, [&](comm::RankCtx& ctx) {

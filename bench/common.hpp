@@ -88,7 +88,9 @@ struct Experiment {
 Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel);
 
 /// Enables `--metrics-out=<path>` (flat "pkifmm.bench-metrics.v1"
-/// JSON), `--trace-out=<path>` (Chrome trace_event JSON),
+/// JSON), `--trace-out=<path>` (Chrome trace_event JSON; multi-run
+/// sweeps are merged with obs::merge_chrome_traces, so flow arrows and
+/// pid blocks stay separable per repetition),
 /// `--summary-out=<path>` (cross-rank "pkifmm.summary.v1", see
 /// obs/aggregate.hpp) and `--history-out=<path>` (one compact
 /// "pkifmm.run.v1" line APPENDED per bench process to a
@@ -105,7 +107,16 @@ Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel);
 /// with Accumulator::merge); it is what `bench/baseline_check`
 /// compares against a checked-in BENCH_baseline.json and what the
 /// history record condenses for `tools/pkifmm_trend`.
+/// Also parses `--flow-trace` / `--flow-capacity=<events>`
+/// (obs/flow.hpp message-flow tracing, off by default); apply_flow_flags
+/// copies them onto an FmmOptions, and run_fmm / run_gpu_fmm apply them
+/// automatically.
 void metrics_init(const Cli& cli, const std::string& bench_name);
+
+/// Copies the --flow-trace / --flow-capacity flags captured by
+/// metrics_init onto `opts`. Benches that drive comm::Runtime directly
+/// (instead of via run_fmm) call this on their own FmmOptions.
+void apply_flow_flags(core::FmmOptions& opts);
 
 /// Internal: appends one run's reports to the metrics log (no-op when
 /// metrics_init was not called or no output was requested).

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   opts.max_points_per_leaf = static_cast<int>(cli.get_int("q", 60));
   opts.threads_per_rank = threads;
   opts.clamp_threads = clamp;
+  apply_flow_flags(opts);  // drives Runtime directly, not via run_fmm
   const core::Tables tables = base.with_options(opts);
 
   std::vector<double> setup_cpu(p, 0.0);

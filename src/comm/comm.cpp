@@ -76,6 +76,11 @@ obs::RankMetrics snapshot_with_counters(const RankCtx& ctx) {
   obs::RankMetrics m = ctx.rec.snapshot();
   m.gauges["obs.epoch"] = ctx.rec.epoch();
   fold_flat_counters(m, ctx.timer, ctx.flops, ctx.comm.cost());
+  // A still-bound flow recorder hasn't published into ctx.rec yet; fold
+  // it into this copy so mid-run snapshots carry the flow data too.
+  // (Once published, the events live in the recorder snapshot already.)
+  const obs::FlowRecorder* f = ctx.comm.cost().flow();
+  if (f != nullptr && !f->published()) f->fold_into(m);
   return m;
 }
 

@@ -66,6 +66,14 @@ class Comm {
     return from_bytes<T>(recv_bytes(source, tag));
   }
 
+  /// Non-blocking probe: true if a message from (source, tag) is
+  /// already queued. Counted by the flow tracer when bound.
+  bool probe(int source, int tag) {
+    PKIFMM_DCHECK(tag >= 0 && tag < kCollectiveTagBase);
+    if (obs::FlowRecorder* f = cost_.flow()) f->on_probe();
+    return fabric_.probe(rank_, source, tag);
+  }
+
   /// Dissemination barrier: ceil(log2 p) rounds, works for any p.
   void barrier();
 
@@ -190,11 +198,25 @@ class Comm {
 
   void raw_send(int dest, int tag, Bytes payload) {
     cost_.on_send(dest, payload.size());
+    // Stamp before the enqueue so the matched receive's dequeue time is
+    // never earlier (non-negative latency after epoch alignment).
+    if (obs::FlowRecorder* f = cost_.flow())
+      f->on_send(dest, tag, static_cast<std::int64_t>(payload.size()));
     fabric_.send(rank_, dest, tag, std::move(payload));
   }
 
   Bytes raw_recv(int source, int tag) {
-    Bytes payload = fabric_.recv(rank_, source, tag);
+    obs::FlowRecorder* f = cost_.flow();
+    if (f == nullptr) {
+      Bytes payload = fabric_.recv(rank_, source, tag);
+      cost_.on_recv(payload.size());
+      return payload;
+    }
+    const double t0 = f->now();
+    bool blocked = false;
+    Bytes payload = fabric_.recv(rank_, source, tag, &blocked);
+    f->on_recv(source, tag, static_cast<std::int64_t>(payload.size()), t0,
+               f->now(), blocked);
     cost_.on_recv(payload.size());
     return payload;
   }

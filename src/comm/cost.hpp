@@ -14,6 +14,7 @@
 #include <map>
 #include <string>
 
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 
 namespace pkifmm::comm {
@@ -35,6 +36,7 @@ class CostTracker {
     msg_hist_ = rec_ != nullptr
                     ? rec_->histogram("comm.msg_bytes." + phase_)
                     : nullptr;
+    if (flow_ != nullptr) flow_->set_phase(phase_);
   }
   const std::string& phase() const { return phase_; }
 
@@ -45,6 +47,17 @@ class CostTracker {
                     ? rec_->histogram("comm.msg_bytes." + phase_)
                     : nullptr;
   }
+
+  /// Binds the per-rank flow recorder (owned by the caller — see the
+  /// lifetime contract in obs/flow.hpp: the binder must publish() and
+  /// unbind before the rank function returns). While bound, Comm
+  /// reports every point-to-point message and probe into it, and
+  /// set_phase() keeps its phase in sync with this tracker's.
+  void bind_flow(obs::FlowRecorder* flow) {
+    flow_ = flow;
+    if (flow_ != nullptr) flow_->set_phase(phase_);
+  }
+  obs::FlowRecorder* flow() const { return flow_; }
 
   void on_send(int dest, std::size_t bytes) {
     auto& c = phases_[phase_];
@@ -166,6 +179,7 @@ class CostTracker {
   std::uint64_t total_bytes_sent_ = 0;
   obs::Recorder* rec_ = nullptr;
   obs::Histogram* msg_hist_ = nullptr;
+  obs::FlowRecorder* flow_ = nullptr;
 };
 
 /// Alpha-beta interconnect model plus a sustained per-core compute rate.

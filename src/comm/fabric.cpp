@@ -11,10 +11,11 @@ void Fabric::send(int source, int dest, int tag, Bytes payload) {
   mb.cv.notify_all();
 }
 
-Bytes Fabric::recv(int self, int source, int tag) {
+Bytes Fabric::recv(int self, int source, int tag, bool* blocked) {
   Mailbox& mb = box(self);
   std::unique_lock<std::mutex> lock(mb.mu);
   auto& q = mb.queues[{source, tag}];
+  if (blocked != nullptr) *blocked = q.empty();
   mb.cv.wait(lock, [&] { return !q.empty() || poisoned_.load(); });
   if (q.empty()) throw FabricPoisoned();
   Bytes payload = std::move(q.front());

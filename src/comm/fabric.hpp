@@ -40,8 +40,11 @@ class Fabric {
   void send(int source, int dest, int tag, Bytes payload);
 
   /// Blocks until a message from (source, tag) is available and pops it.
-  /// Throws FabricPoisoned if poison() is called while waiting.
-  Bytes recv(int self, int source, int tag);
+  /// Throws FabricPoisoned if poison() is called while waiting. When
+  /// `blocked` is non-null it is set to whether the matching queue was
+  /// empty on entry (the call actually waited) — the signal behind the
+  /// flow tracer's late-sender / late-receiver classification.
+  Bytes recv(int self, int source, int tag, bool* blocked = nullptr);
 
   /// True if a matching message is queued (non-blocking probe).
   bool probe(int self, int source, int tag);

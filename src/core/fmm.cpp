@@ -1,11 +1,33 @@
 #include "core/fmm.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "obs/aggregate.hpp"
+#include "obs/flow.hpp"
 #include "octree/balance.hpp"
 
 namespace pkifmm::core {
+
+ParallelFmm::ParallelFmm(comm::RankCtx& ctx, const Tables& tables)
+    : ctx_(ctx), tables_(tables) {
+  const FmmOptions& opts = tables_.options();
+  // Respect an already-bound flow recorder (a caller instrumenting a
+  // wider scope than one ParallelFmm, e.g. tests); otherwise bind our
+  // own for this object's lifetime.
+  if (opts.flow_trace && ctx_.comm.cost().flow() == nullptr) {
+    flow_ = std::make_unique<obs::FlowRecorder>(
+        static_cast<std::size_t>(std::max(opts.flow_capacity, 1)),
+        ctx_.rec.epoch());
+    ctx_.comm.cost().bind_flow(flow_.get());
+  }
+}
+
+ParallelFmm::~ParallelFmm() {
+  if (flow_ == nullptr) return;
+  ctx_.comm.cost().bind_flow(nullptr);
+  flow_->publish(ctx_.rec);
+}
 
 void ParallelFmm::setup(std::vector<octree::PointRec> points) {
   const FmmOptions& opts = tables_.options();

@@ -30,8 +30,15 @@ namespace pkifmm::core {
 
 class ParallelFmm {
  public:
-  ParallelFmm(comm::RankCtx& ctx, const Tables& tables)
-      : ctx_(ctx), tables_(tables) {}
+  /// With options().flow_trace, binds a per-rank obs::FlowRecorder into
+  /// the communicator's cost tracker (unless one is already bound) so
+  /// every message of setup/evaluate is flow-traced; the destructor
+  /// publishes the ring into ctx.rec and unbinds — per the lifetime
+  /// contract in obs/flow.hpp, before the rank function returns.
+  ParallelFmm(comm::RankCtx& ctx, const Tables& tables);
+  ~ParallelFmm();
+  ParallelFmm(const ParallelFmm&) = delete;
+  ParallelFmm& operator=(const ParallelFmm&) = delete;
 
   /// Builds the distributed tree, the LET and the interaction lists;
   /// repartitions by work if options().load_balance. Points carry their
@@ -76,6 +83,7 @@ class ParallelFmm {
  private:
   comm::RankCtx& ctx_;
   const Tables& tables_;
+  std::unique_ptr<obs::FlowRecorder> flow_;  ///< bound iff non-null
   std::unique_ptr<octree::Let> let_;
   obs::Json summary_;
   bool densities_dirty_ = false;

@@ -77,6 +77,19 @@ struct FmmOptions {
 
   /// Relative singular-value cutoff for the equivalent-density solves.
   double pinv_cutoff = 1e-12;
+
+  /// Per-message flow tracing (obs/flow.hpp): every point-to-point
+  /// message gets (src, dst, tag, phase, seq) + timestamps, blocked
+  /// receives become first-class `wait.<phase>.*` metrics, and the
+  /// summary gains the cross-rank wait/critical-path analysis. Off by
+  /// default: the hot path then has zero flow overhead and no `wait.*`
+  /// counters exist at all.
+  bool flow_trace = false;
+
+  /// Flow ring capacity per rank (events beyond it are dropped and
+  /// counted in `flow.dropped`). Preallocated at setup when flow_trace
+  /// is on.
+  int flow_capacity = 1 << 15;
 };
 
 }  // namespace pkifmm::core

@@ -27,14 +27,38 @@
 ///         "msgs_sent":  { ...stats... },
 ///         "bytes_sent": { ...stats... },
 ///         "critical_path": <s>,       // cross-rank span makespan
-///         "overlap_efficiency": <x>   // busy / (nranks * makespan)
+///         "overlap_efficiency": <x>,  // busy / (nranks * makespan)
+///         // present only for --flow-trace runs (obs/flow.hpp):
+///         "comm_wait": { ...stats... },  // blocked-recv s per rank
+///         "slack": { ...stats... },      // makespan - rank busy
+///         "decomp": { "compute", "comm_wait", "pool_idle", "wall" },
+///         "critical_path_graph": <s>,    // true cross-rank dep chain
+///         "critical_path_graph_compute": <s>,
+///         "critical_path_graph_transfer": <s>
 ///       }, ...
 ///     },
 ///     "comm_matrix": {              // dense per-phase traffic matrices
 ///       "<phase>": { "msgs":  [[...p x p...]],
 ///                    "bytes": [[...p x p...]] }, ...
+///     },
+///     "flow": {                     // only for --flow-trace runs
+///       "matched", "unmatched_sends", "unmatched_recvs",
+///       "late_sender", "late_receiver", "events", "dropped", "probes",
+///       "pairs": [ { "src", "dst", "msgs", "bytes",
+///                    "late_sender_msgs", "wait_seconds",
+///                    "latency_p50", "latency_p95", "latency_max" } ]
 ///     }
 ///   }
+///
+/// Flow-derived pieces (see obs/flow.hpp): "decomp" splits the phase's
+/// summed rank wall time into thread-CPU compute, measured blocked-recv
+/// comm_wait, and the pool_idle residual — the three sum to "wall"
+/// exactly by construction. "critical_path_graph" replaces the
+/// epoch-aligned makespan heuristic with a backward walk over the
+/// cross-rank graph of spans + binding message edges (a receive that
+/// provably waited on a late sender hops the path to that sender), and
+/// splits the path into compute and in-flight transfer legs. The
+/// legacy "critical_path" makespan stays for baseline compatibility.
 ///
 /// Sources, per phase:
 ///  - wall/cpu come from the canonical `time.<phase>.*` counters when

@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -46,6 +47,21 @@ Json span_to_json(const SpanEvent& e) {
   return out;
 }
 
+/// Compact array form (schema comment in export.hpp): one row per
+/// FlowEvent keeps metrics.json from exploding at 10^4+ messages.
+Json flow_to_json(const FlowEvent& e) {
+  Json row = Json::array();
+  row.push_back(Json(static_cast<std::int64_t>(e.kind)));
+  row.push_back(Json(static_cast<std::int64_t>(e.peer)));
+  row.push_back(Json(static_cast<std::int64_t>(e.tag)));
+  row.push_back(Json(static_cast<std::int64_t>(e.seq)));
+  row.push_back(Json(static_cast<std::int64_t>(e.phase)));
+  row.push_back(Json(e.bytes));
+  row.push_back(Json(e.t0));
+  row.push_back(Json(e.t1));
+  return row;
+}
+
 }  // namespace
 
 Json metrics_to_json(const std::vector<RankMetrics>& ranks) {
@@ -66,6 +82,14 @@ Json metrics_to_json(const std::vector<RankMetrics>& ranks) {
     Json spans = Json::array();
     for (const SpanEvent& e : rm.spans) spans.push_back(span_to_json(e));
     jr.set("spans", std::move(spans));
+    if (!rm.flows.empty() || !rm.flow_phases.empty()) {
+      Json flows = Json::array();
+      for (const FlowEvent& e : rm.flows) flows.push_back(flow_to_json(e));
+      jr.set("flows", std::move(flows));
+      Json phases = Json::array();
+      for (const std::string& p : rm.flow_phases) phases.push_back(Json(p));
+      jr.set("flow_phases", std::move(phases));
+    }
     jranks.push_back(std::move(jr));
     for (const auto& [name, v] : rm.counters) counter_totals[name] += v;
   }
@@ -131,6 +155,23 @@ std::vector<RankMetrics> metrics_from_json(const Json& doc) {
       rm.histograms[name] = json_to_hist(hists.at(name));
     for (const Json& js : jr.at("spans").items())
       rm.spans.push_back(json_to_span(js));
+    // flows/flow_phases are optional: present only for --flow-trace runs.
+    if (jr.contains("flows")) {
+      for (const Json& jf : jr.at("flows").items()) {
+        FlowEvent e;
+        e.kind = static_cast<std::int32_t>(jf.at(std::size_t{0}).as_int());
+        e.peer = static_cast<std::int32_t>(jf.at(std::size_t{1}).as_int());
+        e.tag = static_cast<std::int32_t>(jf.at(std::size_t{2}).as_int());
+        e.seq = static_cast<std::int32_t>(jf.at(std::size_t{3}).as_int());
+        e.phase = static_cast<std::int32_t>(jf.at(std::size_t{4}).as_int());
+        e.bytes = jf.at(std::size_t{5}).as_int();
+        e.t0 = jf.at(std::size_t{6}).as_double();
+        e.t1 = jf.at(std::size_t{7}).as_double();
+        rm.flows.push_back(e);
+      }
+      for (const Json& jp : jr.at("flow_phases").items())
+        rm.flow_phases.push_back(jp.as_string());
+    }
     out.push_back(std::move(rm));
   }
   return out;
@@ -167,6 +208,24 @@ void validate_metrics_json(const Json& doc) {
       PKIFMM_CHECK_MSG(js.at("wall").as_double() >= 0.0 &&
                            js.at("cpu").as_double() >= 0.0,
                        "span durations must be nonnegative");
+    }
+    if (jr.contains("flows")) {
+      PKIFMM_CHECK_MSG(jr.contains("flow_phases"),
+                       "rank entry has 'flows' but no 'flow_phases'");
+      const std::int64_t nphases =
+          static_cast<std::int64_t>(jr.at("flow_phases").size());
+      for (const Json& jf : jr.at("flows").items()) {
+        PKIFMM_CHECK_MSG(jf.type() == Json::Type::kArray && jf.size() == 8,
+                         "flow row must be an 8-element array");
+        const std::int64_t kind = jf.at(std::size_t{0}).as_int();
+        PKIFMM_CHECK_MSG(kind >= 0 && kind <= 2,
+                         "flow kind out of range");
+        const std::int64_t phase = jf.at(std::size_t{4}).as_int();
+        PKIFMM_CHECK_MSG(phase >= 0 && phase < nphases,
+                         "flow phase index out of range");
+        PKIFMM_CHECK_MSG(jf.at(std::size_t{3}).as_int() >= 0,
+                         "exported flow seq must be assigned (>= 0)");
+      }
     }
   }
 }
@@ -225,6 +284,91 @@ Json chrome_trace_json(const std::vector<RankMetrics>& ranks) {
       args.set("bytes", static_cast<std::int64_t>(e.bytes));
       ev.set("args", std::move(args));
       events.push_back(std::move(ev));
+    }
+
+    // Flow arrows: the id "f:<src>:<dst>:<tag>:<seq>" is built from
+    // rank-symmetric fields, so the sender's "s" and the receiver's
+    // "f" — emitted from two different RankMetrics — agree without
+    // any cross-rank coordination. All comm happens on the rank
+    // thread, so both endpoints sit on tid 0 where the phase slices
+    // give Perfetto an enclosing slice to attach the arrow to.
+    for (const FlowEvent& e : rm.flows) {
+      const bool is_send = e.kind == FlowEvent::kSend;
+      const int src = is_send ? rm.rank : e.peer;
+      const int dst = is_send ? e.peer : rm.rank;
+      Json ev = Json::object();
+      ev.set("name", "msg");
+      ev.set("cat", "flow");
+      ev.set("ph", is_send ? "s" : "f");
+      if (!is_send) ev.set("bp", "e");  // bind to enclosing slice
+      ev.set("id", "f:" + std::to_string(src) + ":" + std::to_string(dst) +
+                       ":" + std::to_string(e.tag) + ":" +
+                       std::to_string(e.seq));
+      ev.set("pid", static_cast<std::int64_t>(rm.rank));
+      ev.set("tid", std::int64_t{0});
+      ev.set("ts", (epoch + (is_send ? e.t0 : e.t1)) * 1e6);
+      Json args = Json::object();
+      args.set("bytes", e.bytes);
+      if (static_cast<std::size_t>(e.phase) < rm.flow_phases.size())
+        args.set("phase", rm.flow_phases[static_cast<std::size_t>(e.phase)]);
+      ev.set("args", std::move(args));
+      events.push_back(std::move(ev));
+
+      if (e.kind == FlowEvent::kRecvBlocked) {
+        Json w = Json::object();
+        const std::string phase =
+            static_cast<std::size_t>(e.phase) < rm.flow_phases.size()
+                ? rm.flow_phases[static_cast<std::size_t>(e.phase)]
+                : "default";
+        w.set("name", "wait." + phase);
+        w.set("cat", "wait");
+        w.set("ph", "X");
+        w.set("pid", static_cast<std::int64_t>(rm.rank));
+        w.set("tid", std::int64_t{0});
+        w.set("ts", (epoch + e.t0) * 1e6);
+        w.set("dur", (e.t1 - e.t0) * 1e6);
+        Json wargs = Json::object();
+        wargs.set("src", static_cast<std::int64_t>(e.peer));
+        wargs.set("tag", static_cast<std::int64_t>(e.tag));
+        wargs.set("bytes", e.bytes);
+        w.set("args", std::move(wargs));
+        events.push_back(std::move(w));
+      }
+    }
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+Json merge_chrome_traces(const std::vector<Json>& runs) {
+  // Stride = max pid count over ALL runs: derived, not fixed, so a
+  // 2^20-rank run can no longer bleed into run 1's pid range.
+  std::int64_t stride = 1;
+  for (const Json& run : runs)
+    for (const Json& ev : run.at("traceEvents").items())
+      if (ev.contains("pid")) stride = std::max(stride, ev.at("pid").as_int() + 1);
+
+  Json events = Json::array();
+  for (std::size_t k = 0; k < runs.size(); ++k) {
+    const std::int64_t shift = static_cast<std::int64_t>(k) * stride;
+    for (const Json& ev : runs[k].at("traceEvents").items()) {
+      Json out = ev;  // value copy; override the run-scoped fields
+      if (ev.contains("pid")) out.set("pid", ev.at("pid").as_int() + shift);
+      // Flow-event ids are only unique within one run; prefix with the
+      // run ordinal so arrows never link across repetitions.
+      if (ev.contains("id"))
+        out.set("id", "r" + std::to_string(k) + ":" +
+                          ev.at("id").as_string());
+      if (ev.contains("ph") && ev.at("ph").as_string() == "M" &&
+          ev.at("name").as_string() == "process_name") {
+        Json args = Json::object();
+        args.set("name", "run" + std::to_string(k) + " " +
+                             ev.at("args").at("name").as_string());
+        out.set("args", std::move(args));
+      }
+      events.push_back(std::move(out));
     }
   }
   Json doc = Json::object();

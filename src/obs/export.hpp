@@ -15,11 +15,19 @@
 ///         "histograms": { "<name>": { "count", "sum", "min", "max",
 ///                                     "buckets": [[bucket, count], ...] } },
 ///         "spans": [ { "name", "start", "wall", "cpu", "flops",
-///                      "msgs", "bytes", "parent", "depth" }, ... ] },
+///                      "msgs", "bytes", "parent", "depth" }, ... ],
+///         "flows": [ [kind, peer, tag, seq, phase, bytes, t0, t1], ... ],
+///         "flow_phases": [ "<phase>", ... ] },
 ///       ...
 ///     ],
 ///     "totals": { "counters": { "<name>": <sum across ranks> } }
 ///   }
+///
+/// "flows"/"flow_phases" are present only when the rank recorded flow
+/// events (--flow-trace, obs/flow.hpp); each flow row is the compact
+/// array form of obs::FlowEvent (kind 0=send, 1=recv, 2=blocked recv;
+/// phase indexes flow_phases; t0/t1 are seconds relative to the
+/// recorder epoch).
 ///
 /// Canonical counter names written by comm::Runtime for every rank:
 ///   time.<phase>.wall / time.<phase>.cpu     seconds (PhaseTimer)
@@ -57,7 +65,13 @@
 /// thread_name metadata events naming each row "rank N") and emits one
 /// complete ("ph":"X") event per span with flops/msgs/bytes in args.
 /// Because the pid carries the rank, per-rank trace files written by
-/// separate processes concatenate into one merged timeline.
+/// separate processes concatenate into one merged timeline. When flow
+/// events were recorded, every message additionally becomes a flow-
+/// event pair — "ph":"s" on the sender at enqueue, "ph":"f","bp":"e"
+/// on the receiver at dequeue, both carrying the stable string id
+/// "f:<src>:<dst>:<tag>:<seq>" — so Perfetto draws send→recv arrows
+/// across the rank rows, and every blocked receive becomes a
+/// "wait.<phase>" slice on the receiver's rank-thread row.
 
 #include <string>
 #include <vector>
@@ -80,8 +94,18 @@ std::vector<RankMetrics> metrics_from_json(const Json& doc);
 /// CheckFailure with a description of the first violation.
 void validate_metrics_json(const Json& doc);
 
-/// Chrome trace_event document ({"traceEvents": [...]}) for the spans.
+/// Chrome trace_event document ({"traceEvents": [...]}) for the spans
+/// (+ flow arrows and wait slices when flow events are present).
 Json chrome_trace_json(const std::vector<RankMetrics>& ranks);
+
+/// Merges per-run Chrome trace documents into one timeline: run k's
+/// pids are shifted by k * stride where stride = max pids-per-run over
+/// ALL runs (so pids can never collide, whatever the rank count — the
+/// PR 2 fixed stride overflowed into the next run's pid range when
+/// ranks >= stride), flow-event ids get a "r<k>:" prefix so arrows
+/// never cross runs, and process_name metadata is rewritten to
+/// "run<k> rank N".
+Json merge_chrome_traces(const std::vector<Json>& runs);
 
 /// Convenience file writers (schema-validated before writing).
 void write_metrics_json(const std::string& path,

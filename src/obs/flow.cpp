@@ -1,0 +1,144 @@
+#include "obs/flow.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace pkifmm::obs {
+
+FlowRecorder::FlowRecorder(std::size_t capacity, double epoch)
+    : epoch_(epoch), capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+  // Matches CostTracker's initial phase so events recorded before the
+  // first set_phase() land somewhere sensible.
+  phases_.emplace_back("default");
+  waits_.emplace_back();
+}
+
+void FlowRecorder::set_phase(const std::string& name) {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i] == name) {
+      cur_phase_ = static_cast<std::int32_t>(i);
+      return;
+    }
+  }
+  cur_phase_ = static_cast<std::int32_t>(phases_.size());
+  phases_.push_back(name);
+  waits_.emplace_back();
+}
+
+void FlowRecorder::on_send(int dest, int tag, std::int64_t bytes) {
+  ++sends_;
+  if (ring_.size() == capacity_) {
+    ++dropped_;
+    return;
+  }
+  FlowEvent e;
+  e.kind = FlowEvent::kSend;
+  e.peer = dest;
+  e.tag = tag;
+  e.phase = cur_phase_;
+  e.bytes = bytes;
+  e.t0 = e.t1 = now();
+  ring_.push_back(e);
+}
+
+void FlowRecorder::on_recv(int source, int tag, std::int64_t bytes,
+                           double t_block_begin, double t_done,
+                           bool blocked) {
+  ++recvs_;
+  WaitAccum& w = waits_[static_cast<std::size_t>(cur_phase_)];
+  ++w.recvs;
+  if (blocked) {
+    ++w.blocked;
+    const double dt = t_done - t_block_begin;
+    w.seconds += dt;
+    if (dt > w.max_seconds) w.max_seconds = dt;
+  }
+  if (ring_.size() == capacity_) {
+    ++dropped_;
+    return;
+  }
+  FlowEvent e;
+  e.kind = blocked ? FlowEvent::kRecvBlocked : FlowEvent::kRecv;
+  e.peer = source;
+  e.tag = tag;
+  e.phase = cur_phase_;
+  e.bytes = bytes;
+  e.t0 = t_block_begin;
+  e.t1 = t_done;
+  ring_.push_back(e);
+}
+
+std::vector<FlowEvent> FlowRecorder::with_seq() const {
+  std::vector<FlowEvent> out = ring_;
+  // Occurrence counting in record order: the fabric is FIFO per
+  // (src, dst, tag), so the k-th send to (peer, tag) is the k-th
+  // message of that stream — and on the peer, the k-th receive from
+  // (us, tag) dequeues it. Sends and receives count independently.
+  std::map<std::tuple<int, int, int>, std::int32_t> next;
+  for (FlowEvent& e : out) {
+    const int dir = e.kind == FlowEvent::kSend ? 0 : 1;
+    e.seq = next[{dir, e.peer, e.tag}]++;
+  }
+  return out;
+}
+
+template <class AddFn, class MaxFn>
+void FlowRecorder::fold_counters(AddFn&& add, MaxFn&& maxi) const {
+  add("flow.events", static_cast<double>(ring_.size()));
+  add("flow.dropped", static_cast<double>(dropped_));
+  add("flow.probes", static_cast<double>(probes_));
+  add("flow.sends", static_cast<double>(sends_));
+  add("flow.recvs", static_cast<double>(recvs_));
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const WaitAccum& w = waits_[i];
+    if (w.recvs == 0) continue;
+    const std::string stem = "wait." + phases_[i];
+    add(stem + ".seconds", w.seconds);
+    add(stem + ".recvs", static_cast<double>(w.recvs));
+    add(stem + ".blocked", static_cast<double>(w.blocked));
+    maxi(stem + ".max_seconds", w.max_seconds);
+  }
+}
+
+void FlowRecorder::fold_into(RankMetrics& m) const {
+  fold_counters(
+      [&](const std::string& name, double v) { m.counters[name] += v; },
+      [&](const std::string& name, double v) {
+        double& c = m.counters[name];
+        c = std::max(c, v);
+      });
+  // Remap this recorder's phase ids onto the snapshot's interning table
+  // (several producers may fold into one rank).
+  std::vector<std::int32_t> remap(phases_.size());
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    auto it =
+        std::find(m.flow_phases.begin(), m.flow_phases.end(), phases_[i]);
+    if (it == m.flow_phases.end()) {
+      remap[i] = static_cast<std::int32_t>(m.flow_phases.size());
+      m.flow_phases.push_back(phases_[i]);
+    } else {
+      remap[i] =
+          static_cast<std::int32_t>(it - m.flow_phases.begin());
+    }
+  }
+  for (FlowEvent e : with_seq()) {
+    e.phase = remap[static_cast<std::size_t>(e.phase)];
+    m.flows.push_back(e);
+  }
+}
+
+void FlowRecorder::publish(Recorder& rec) {
+  PKIFMM_CHECK_MSG(!published_, "FlowRecorder published twice");
+  fold_counters(
+      [&](const std::string& name, double v) { rec.counter_add(name, v); },
+      [&](const std::string& name, double v) {
+        const double cur = rec.counter(name);
+        if (v > cur) rec.counter_add(name, v - cur);
+      });
+  rec.record_flows(with_seq(), phases_);
+  published_ = true;
+}
+
+}  // namespace pkifmm::obs

@@ -143,6 +143,29 @@ void Recorder::fold_hw(const std::string& name, const OpenSpan& o) {
       peak1 > o.rss0 ? static_cast<double>(peak1 - o.rss0) : 0.0;
 }
 
+void Recorder::record_flows(const std::vector<FlowEvent>& flows,
+                            const std::vector<std::string>& phases) {
+  std::vector<std::int32_t> remap(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    auto it = std::find(metrics_.flow_phases.begin(),
+                        metrics_.flow_phases.end(), phases[i]);
+    if (it == metrics_.flow_phases.end()) {
+      remap[i] = static_cast<std::int32_t>(metrics_.flow_phases.size());
+      metrics_.flow_phases.push_back(phases[i]);
+    } else {
+      remap[i] =
+          static_cast<std::int32_t>(it - metrics_.flow_phases.begin());
+    }
+  }
+  metrics_.flows.reserve(metrics_.flows.size() + flows.size());
+  for (FlowEvent e : flows) {
+    PKIFMM_DCHECK(e.phase >= 0 &&
+                  static_cast<std::size_t>(e.phase) < phases.size());
+    e.phase = remap[static_cast<std::size_t>(e.phase)];
+    metrics_.flows.push_back(e);
+  }
+}
+
 Recorder& Registry::recorder(int rank) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& r = recorders_[rank];

@@ -96,6 +96,28 @@ struct SpanEvent {
                              ///< k >= 1 = TaskPool worker lane k
 };
 
+/// One per-message flow record (obs/flow.hpp produces these). Sends
+/// and receives are recorded on their own rank; the aggregator matches
+/// the k-th send from (src, dst, tag) with the k-th receive — the
+/// fabric's non-overtaking rule makes that pairing exact — so a
+/// message's flow id is (src, dst, tag, seq).
+struct FlowEvent {
+  enum Kind : std::int32_t {
+    kSend = 0,         ///< enqueue on the sender (never blocks)
+    kRecv = 1,         ///< receive that found the message queued
+    kRecvBlocked = 2,  ///< receive that waited on the condvar
+  };
+  std::int32_t kind = kSend;
+  std::int32_t peer = 0;   ///< dst for sends, src for recvs
+  std::int32_t tag = 0;
+  std::int32_t seq = -1;   ///< per-(direction, peer, tag) ordinal;
+                           ///< -1 until FlowRecorder folds the ring
+  std::int32_t phase = 0;  ///< index into RankMetrics::flow_phases
+  std::int64_t bytes = 0;
+  double t0 = 0.0;  ///< send: enqueue; recv: block begin (rel. epoch)
+  double t1 = 0.0;  ///< send: == t0; recv: dequeue complete
+};
+
 /// Copyable snapshot of everything one rank recorded.
 struct RankMetrics {
   int rank = 0;
@@ -103,6 +125,8 @@ struct RankMetrics {
   std::map<std::string, double> gauges;
   std::map<std::string, Histogram> histograms;
   std::vector<SpanEvent> spans;
+  std::vector<FlowEvent> flows;          ///< per-message trace (flow on)
+  std::vector<std::string> flow_phases;  ///< interned phase names
 
   /// Sum of wall seconds over the direct children of span `i`. The
   /// tracer invariant (asserted in tests) is child_wall_sum(i) <=
@@ -219,6 +243,13 @@ class Recorder {
   /// relative to epoch() themselves. Call from the owning rank thread.
   void record_span(SpanEvent e) { metrics_.spans.push_back(std::move(e)); }
 
+  /// Appends externally recorded flow events (obs::FlowRecorder
+  /// publishes its ring here at end-of-life). `phases` is the
+  /// producer's interning table; phase ids are remapped onto this
+  /// recorder's table so several producers can publish into one rank.
+  void record_flows(const std::vector<FlowEvent>& flows,
+                    const std::vector<std::string>& phases);
+
   // --- snapshot ----------------------------------------------------
   const RankMetrics& metrics() const { return metrics_; }
   /// Copy of the snapshot; open spans are not included.
@@ -229,6 +260,8 @@ class Recorder {
     metrics_.gauges.clear();
     metrics_.histograms.clear();
     metrics_.spans.clear();
+    metrics_.flows.clear();
+    metrics_.flow_phases.clear();
     PKIFMM_CHECK_MSG(open_.empty(), "clear() with open spans");
     flops_total_ = 0;
     msgs_total_ = 0;

@@ -17,18 +17,32 @@ namespace {
 /// exact-name matches — hw/mem counters are inclusive per span name
 /// and must never be prefix-summed (see Recorder::fold_hw).
 struct AuxMetric {
-  const char* prefix;  ///< counter namespace ("hw." or "mem.")
+  const char* prefix;  ///< counter namespace ("hw.", "mem.", "wait.")
   const char* suffix;  ///< counter suffix incl. leading dot
   const char* key;     ///< key in the record's phase object
+  double TrendOptions::* floor;  ///< skip values below this
+  double TrendOptions::* ratio;  ///< warn bound
 };
 const AuxMetric kAuxMetrics[] = {
-    {"hw.", ".cycles", "cycles"},
-    {"hw.", ".instructions", "instructions"},
-    {"hw.", ".l1d_misses", "l1d_misses"},
-    {"hw.", ".llc_misses", "llc_misses"},
-    {"hw.", ".branch_misses", "branch_misses"},
-    {"hw.", ".minor_faults", "minor_faults"},
-    {"mem.", ".peak_rss_delta_bytes", "peak_rss_delta_bytes"},
+    {"hw.", ".cycles", "cycles", &TrendOptions::min_hw,
+     &TrendOptions::hw_ratio},
+    {"hw.", ".instructions", "instructions", &TrendOptions::min_hw,
+     &TrendOptions::hw_ratio},
+    {"hw.", ".l1d_misses", "l1d_misses", &TrendOptions::min_hw,
+     &TrendOptions::hw_ratio},
+    {"hw.", ".llc_misses", "llc_misses", &TrendOptions::min_hw,
+     &TrendOptions::hw_ratio},
+    {"hw.", ".branch_misses", "branch_misses", &TrendOptions::min_hw,
+     &TrendOptions::hw_ratio},
+    {"hw.", ".minor_faults", "minor_faults", &TrendOptions::min_hw,
+     &TrendOptions::hw_ratio},
+    {"mem.", ".peak_rss_delta_bytes", "peak_rss_delta_bytes",
+     &TrendOptions::min_hw, &TrendOptions::hw_ratio},
+    // Blocked-recv time per phase (--flow-trace runs): warn-only like
+    // hw/mem — wait time is scheduler-sensitive, and gating hard on it
+    // would make every loaded CI box a false failure.
+    {"wait.", ".seconds", "wait_seconds", &TrendOptions::min_seconds,
+     &TrendOptions::time_ratio},
 };
 
 /// Hard-gated metrics (GateOptions semantics). Floors resolved from
@@ -256,17 +270,19 @@ Json trend_analyze(const std::vector<Json>& records,
       const std::vector<double> vals = ref_median(m.key);
       if (vals.empty()) continue;
       const double now = fp.at(m.key).as_double();
-      if (now < opt.min_hw) continue;
+      const double floor = opt.*(m.floor);
+      if (now < floor) continue;
       ++checked;
       const double ref = median(vals);
-      const double ratio = now / std::max(ref, opt.min_hw);
-      if (ratio > opt.hw_ratio)
+      const double ratio = now / std::max(ref, floor);
+      if (ratio > opt.*(m.ratio))
         warnings.push_back(
-            finding(phase, m.key, ref, now, ratio, opt.hw_ratio));
+            finding(phase, m.key, ref, now, ratio, opt.*(m.ratio)));
     }
   }
 
-  report.set("ok", regressions.size() == 0);
+  report.set("ok", regressions.size() == 0 &&
+                       (!opt.strict || warnings.size() == 0));
   report.set("checked", checked);
   report.set("window", static_cast<std::int64_t>(nref));
   report.set("newest_sha", fresh.at("git_sha").as_string());

@@ -24,7 +24,10 @@
 ///                    "cycles", "instructions", "l1d_misses",
 ///                    "llc_misses", "branch_misses",
 ///                    // always present when ranks sampled memory:
-///                    "minor_faults", "peak_rss_delta_bytes" }, ...
+///                    "minor_faults", "peak_rss_delta_bytes",
+///                    // present only for --flow-trace runs (warn-only
+///                    // gate, like hw/mem):
+///                    "wait_seconds" }, ...
 ///     },
 ///     "mem": { "peak_rss_bytes": <process VmHWM at record time> }
 ///   }
@@ -85,6 +88,10 @@ struct TrendOptions {
   double min_msgs = 16;
   double min_bytes = 4096;
   double min_hw = 1e6;        ///< ignore hw metrics below this count
+  /// Promote the warn-only hw/mem/wait findings to hard failures
+  /// ("ok" = false when any warning fires). For CI lanes pinned to one
+  /// machine class, where hw counters ARE comparable run-over-run.
+  bool strict = false;
 };
 
 /// Analyzes records of ONE bench, ordered oldest -> newest. The newest

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "comm/comm.hpp"
 #include "comm/sort.hpp"
@@ -471,6 +473,74 @@ TEST(RebalanceEqual, NoOpWhenAlreadyBalanced) {
     rebalance_equal(ctx.comm, data);
     EXPECT_EQ(data.size(), 100u);
     for (auto v : data) EXPECT_EQ(v, static_cast<std::uint64_t>(ctx.rank()));
+  });
+}
+
+TEST(Fabric, PoisonWakesEveryConcurrentBlockedRecv) {
+  // All waiters block on messages that will never arrive; poison() must
+  // wake each one with FabricPoisoned — none may return a payload, none
+  // may stay parked (a hung waiter would deadlock the join below).
+  constexpr int kWaiters = 8;
+  Fabric fabric(kWaiters + 1);
+  std::atomic<int> poisoned{0};
+  std::atomic<int> started{0};
+  std::vector<std::thread> waiters;
+  for (int r = 0; r < kWaiters; ++r)
+    waiters.emplace_back([&, r] {
+      started.fetch_add(1);
+      try {
+        (void)fabric.recv(r, kWaiters, /*tag=*/7);
+        ADD_FAILURE() << "recv on rank " << r << " returned a payload";
+      } catch (const FabricPoisoned&) {
+        poisoned.fetch_add(1);
+      }
+    });
+  while (started.load() < kWaiters) std::this_thread::yield();
+  fabric.poison();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(poisoned.load(), kWaiters);
+
+  // Poison is sticky: a recv entered after the fact throws immediately
+  // instead of parking forever.
+  EXPECT_THROW((void)fabric.recv(0, 1, 7), FabricPoisoned);
+}
+
+TEST(Fabric, RecvReportsWhetherItActuallyBlocked) {
+  Fabric fabric(2);
+  const std::vector<int> payload = {11};
+  // Message already queued: the receive must report blocked = false.
+  fabric.send(0, 1, 3, to_bytes(std::span<const int>(payload)));
+  bool blocked = true;
+  (void)fabric.recv(1, 0, 3, &blocked);
+  EXPECT_FALSE(blocked);
+
+  // Queue empty on entry: the receive waits and reports blocked = true.
+  std::thread sender(
+      [&] { fabric.send(0, 1, 4, to_bytes(std::span<const int>(payload))); });
+  blocked = false;
+  (void)fabric.recv(1, 0, 4, &blocked);
+  sender.join();
+  // Racy in one direction only: the sender may win, making blocked
+  // false — but a pre-queued message can never report true, which is
+  // the classification-correctness half that matters. Assert the
+  // deterministic case above; here just exercise the path.
+  SUCCEED();
+}
+
+TEST(PointToPoint, ProbeSeesQueuedMessageWithoutConsuming) {
+  Runtime::run(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<int> v = {11};
+      ctx.comm.send(1, 9, std::span<const int>(v));
+      ctx.comm.barrier();
+    } else {
+      EXPECT_FALSE(ctx.comm.probe(0, 8));  // wrong tag: nothing queued
+      ctx.comm.barrier();  // sender has definitely enqueued by now
+      EXPECT_TRUE(ctx.comm.probe(0, 9));
+      EXPECT_TRUE(ctx.comm.probe(0, 9));  // probe must not consume
+      EXPECT_EQ(ctx.comm.recv<int>(0, 9), std::vector<int>{11});
+      EXPECT_FALSE(ctx.comm.probe(0, 9));
+    }
   });
 }
 

@@ -21,7 +21,13 @@
 ///      busy fraction over the pool lifetime plus the ULI overlap
 ///      efficiency — what fraction of the U-list direct work executed
 ///      concurrently with the far-field pipeline,
-///   5. an ASCII heatmap of the per-phase communication matrix
+///   5. message-flow waits (only when the summary carries a "flow"
+///      section, i.e. the run used --flow-trace): per-phase wall-time
+///      decomposition into compute / comm-wait / pool-idle with a wait
+///      fraction bar, the graph-based critical path vs the makespan
+///      heuristic, the top-k late-sender ranks by inflicted wait, and
+///      a per-(src,dst) message latency table (p50/p95/max),
+///   6. an ASCII heatmap of the per-phase communication matrix
 ///      (row = sender, column = receiver), the traffic-shape evidence
 ///      behind the paper's Algorithm 2/3 claims.
 ///
@@ -284,7 +290,115 @@ static int run(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // --- 5. Communication-matrix heatmaps.
+  // --- 5. Message-flow waits (--flow-trace runs only).
+  if (doc.contains("flow")) {
+    const obs::Json& flow = doc.at("flow");
+    std::printf(
+        "Message-flow waits: %s matched msgs (%s late-sender, %s "
+        "late-receiver),\n%s unmatched, %s ring-dropped, %s probes\n",
+        sci(flow.at("matched").as_double()).c_str(),
+        sci(flow.at("late_sender").as_double()).c_str(),
+        sci(flow.at("late_receiver").as_double()).c_str(),
+        sci(flow.at("unmatched_sends").as_double() +
+            flow.at("unmatched_recvs").as_double())
+            .c_str(),
+        sci(flow.at("dropped").as_double()).c_str(),
+        sci(flow.at("probes").as_double()).c_str());
+
+    Table waits({"Phase", "Wall (s)", "Compute", "Comm wait", "Pool idle",
+                 "Wait frac", "Bar"});
+    for (const std::string& name : names) {
+      const obs::Json& ph = phases.at(name);
+      if (!ph.contains("decomp")) continue;
+      const obs::Json& d = ph.at("decomp");
+      const double wall = d.at("wall").as_double();
+      if (wall <= 1e-6) continue;
+      const double wait = d.at("comm_wait").as_double();
+      const double frac = wait / wall;
+      waits.add_row({name, sci(wall), sci(d.at("compute").as_double()),
+                     sci(wait), sci(d.at("pool_idle").as_double()),
+                     fixed(frac), bar(frac, 1.0, 16)});
+    }
+    std::printf("Per-phase wall decomposition (summed across ranks):\n%s",
+                waits.str().c_str());
+
+    Table cpath({"Phase", "Makespan", "Graph path", "Compute leg",
+                 "Transfer leg"});
+    bool any_graph = false;
+    for (const std::string& name : names) {
+      const obs::Json& ph = phases.at(name);
+      if (!ph.contains("critical_path_graph")) continue;
+      any_graph = true;
+      cpath.add_row(
+          {name, sci(ph.at("critical_path").as_double()),
+           sci(ph.at("critical_path_graph").as_double()),
+           sci(ph.at("critical_path_graph_compute").as_double()),
+           sci(ph.at("critical_path_graph_transfer").as_double())});
+    }
+    if (any_graph)
+      std::printf(
+          "Critical path, graph-based (dependency chain through binding "
+          "receives):\n%s",
+          cpath.str().c_str());
+
+    // Late senders, aggregated over destinations: who to look at first
+    // when a phase is wait-bound.
+    struct SrcAgg {
+      int src;
+      double late_msgs, wait_s;
+    };
+    std::vector<SrcAgg> senders;
+    const obs::Json& pairs = flow.at("pairs");
+    for (const obs::Json& p : pairs.items()) {
+      const int src = static_cast<int>(p.at("src").as_int());
+      auto it = std::find_if(senders.begin(), senders.end(),
+                             [&](const SrcAgg& s) { return s.src == src; });
+      if (it == senders.end()) {
+        senders.push_back({src, 0.0, 0.0});
+        it = senders.end() - 1;
+      }
+      it->late_msgs += p.at("late_sender_msgs").as_double();
+      it->wait_s += p.at("wait_seconds").as_double();
+    }
+    std::sort(senders.begin(), senders.end(),
+              [](const SrcAgg& a, const SrcAgg& b) {
+                return a.wait_s > b.wait_s;
+              });
+    if (senders.size() > top_k) senders.resize(top_k);
+    double wait_max = senders.empty() ? 0.0 : senders.front().wait_s;
+    Table late({"Src rank", "Late msgs", "Wait inflicted (s)", "Bar"});
+    for (const SrcAgg& s : senders)
+      late.add_row({std::to_string(s.src), sci(s.late_msgs), sci(s.wait_s),
+                    bar(wait_max > 0.0 ? s.wait_s / wait_max : 0.0, 1.0,
+                        16)});
+    std::printf("Top-%zu late-sender ranks (by blocked time inflicted):\n%s",
+                senders.size(), late.str().c_str());
+
+    // Per-pair latency table, worst (by inflicted wait) first.
+    std::vector<const obs::Json*> plist;
+    for (const obs::Json& p : pairs.items()) plist.push_back(&p);
+    std::sort(plist.begin(), plist.end(),
+              [](const obs::Json* a, const obs::Json* b) {
+                return a->at("wait_seconds").as_double() >
+                       b->at("wait_seconds").as_double();
+              });
+    if (plist.size() > top_k) plist.resize(top_k);
+    Table lat({"Src->Dst", "Msgs", "Bytes", "Lat p50 (s)", "Lat p95 (s)",
+               "Lat max (s)", "Wait (s)"});
+    for (const obs::Json* p : plist)
+      lat.add_row({std::to_string(p->at("src").as_int()) + "->" +
+                       std::to_string(p->at("dst").as_int()),
+                   sci(p->at("msgs").as_double()),
+                   sci(p->at("bytes").as_double()),
+                   sci(p->at("latency_p50").as_double()),
+                   sci(p->at("latency_p95").as_double()),
+                   sci(p->at("latency_max").as_double()),
+                   sci(p->at("wait_seconds").as_double())});
+    std::printf("Message latency by (src, dst) pair:\n%s\n",
+                lat.str().c_str());
+  }
+
+  // --- 6. Communication-matrix heatmaps.
   const obs::Json& matrices = doc.at("comm_matrix");
   std::printf("Communication matrices:\n");
   bool printed = false;

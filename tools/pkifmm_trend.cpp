@@ -17,11 +17,15 @@
 ///       [--min-seconds=5e-2] [--min-flops=1e4]
 ///       [--report-out=<trend_report.json>]
 ///       [--warn-only]         # exit 0 even on hard regressions
+///       [--strict]            # promote hw/mem/wait warnings to hard
+///                             # failures (exit 1)
 ///
 /// Exit status: 0 = no regressions (including the first-run case of an
 /// empty history or a single record — nothing to gate against yet),
 /// 1 = regression detected, 2 = bad input (missing/unparseable
-/// history, unknown bench).
+/// history, unknown bench). --strict is for CI lanes pinned to one
+/// machine class, where hw counters ARE comparable; --warn-only wins
+/// if both are given.
 
 #include <algorithm>
 #include <cstdio>
@@ -82,6 +86,7 @@ static int run(int argc, char** argv) {
   opt.hw_ratio = cli.get_double("hw-ratio", opt.hw_ratio);
   opt.min_seconds = cli.get_double("min-seconds", opt.min_seconds);
   opt.min_flops = cli.get_double("min-flops", opt.min_flops);
+  opt.strict = cli.has("strict");
 
   const std::vector<obs::Json> records = obs::read_run_history(history);
 

@@ -108,14 +108,20 @@ Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel);
 /// compares against a checked-in BENCH_baseline.json and what the
 /// history record condenses for `tools/pkifmm_trend`.
 /// Also parses `--flow-trace` / `--flow-capacity=<events>`
-/// (obs/flow.hpp message-flow tracing, off by default); apply_flow_flags
+/// (obs/flow.hpp message-flow tracing, off by default) and
+/// `--exec-mode=bulk|dag` (FmmOptions::exec_mode — bulk-synchronous
+/// reference vs util::TaskGraph data-driven execution); apply_flow_flags
 /// copies them onto an FmmOptions, and run_fmm / run_gpu_fmm apply them
-/// automatically.
+/// automatically. Recorded runs carry `config.exec_mode`, and history
+/// records from a `--exec-mode=dag` process append under the bench name
+/// `<bench>+dag` so pkifmm_trend keeps the two modes' trajectories (and
+/// regression gates) separate.
 void metrics_init(const Cli& cli, const std::string& bench_name);
 
-/// Copies the --flow-trace / --flow-capacity flags captured by
-/// metrics_init onto `opts`. Benches that drive comm::Runtime directly
-/// (instead of via run_fmm) call this on their own FmmOptions.
+/// Copies the --flow-trace / --flow-capacity / --exec-mode flags
+/// captured by metrics_init onto `opts`. Benches that drive
+/// comm::Runtime directly (instead of via run_fmm) call this on their
+/// own FmmOptions.
 void apply_flow_flags(core::FmmOptions& opts);
 
 /// Internal: appends one run's reports to the metrics log (no-op when

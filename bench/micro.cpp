@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include "la/svd.hpp"
 #include "morton/key.hpp"
 #include "obs/json.hpp"
+#include "obs/trend.hpp"
 #include "octree/build.hpp"
 #include "util/rng.hpp"
 #include "util/task_pool.hpp"
@@ -272,6 +274,61 @@ void BM_GemmBatchParallel(benchmark::State& state) {
                           static_cast<std::int64_t>(la::gemm_flops(a, nb)));
 }
 
+void BM_DagGraphThroughput(benchmark::State& state) {
+  // Pure scheduling overhead of the DAG executor: a layered graph of
+  // EMPTY nodes (kLayers x kWidth, fan-in 2 per node), rebuilt and
+  // drained every iteration. Per-node cost = graph construction +
+  // dependency counting + ready-enqueue + pool dispatch, with zero
+  // useful work to hide behind — the upper bound on what kDag can cost
+  // over kBulkSync per scheduled chunk.
+  const int workers = static_cast<int>(state.range(0));
+  util::TaskPool pool(workers);
+  constexpr int kLayers = 32;
+  constexpr int kWidth = 16;
+  for (auto _ : state) {
+    util::TaskGraph g(pool, "micro.dag");
+    std::array<util::TaskGraph::NodeId, kWidth> prev;
+    for (int i = 0; i < kWidth; ++i) prev[i] = g.node("layer", [](int) {});
+    for (int l = 1; l < kLayers; ++l) {
+      std::array<util::TaskGraph::NodeId, kWidth> cur;
+      for (int i = 0; i < kWidth; ++i) {
+        cur[i] = g.node("layer", [](int) {});
+        g.edge(prev[i], cur[i]);
+        g.edge(prev[(i + 1) % kWidth], cur[i]);
+      }
+      prev = cur;
+    }
+    g.launch();
+    g.wait();
+  }
+  state.counters["workers"] = workers;
+  state.SetItemsProcessed(state.iterations() * kLayers * kWidth);
+}
+
+void BM_DagReleaseLatency(benchmark::State& state) {
+  // Dependency-release latency: a strict chain of empty nodes, so each
+  // hop is complete() -> successor counter hits zero -> enqueue ->
+  // dequeue -> run, with no available parallelism. Per-item time IS
+  // the release handoff (on workers > 0 it includes the cross-thread
+  // wake; at 0 workers it is the inline help-drain path).
+  const int workers = static_cast<int>(state.range(0));
+  util::TaskPool pool(workers);
+  constexpr int kChain = 256;
+  for (auto _ : state) {
+    util::TaskGraph g(pool, "micro.dag");
+    util::TaskGraph::NodeId prev = g.node("chain", [](int) {});
+    for (int i = 1; i < kChain; ++i) {
+      const util::TaskGraph::NodeId n = g.node("chain", [](int) {});
+      g.edge(prev, n);
+      prev = n;
+    }
+    g.launch();
+    g.wait();
+  }
+  state.counters["workers"] = workers;
+  state.SetItemsProcessed(state.iterations() * kChain);
+}
+
 /// Console reporting plus machine-readable capture for the perf-gate
 /// artifacts (the other benches' --metrics-out analog; google-benchmark
 /// owns the timing loop here, so the capture rides on the reporter).
@@ -302,16 +359,27 @@ class MetricsReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   // google-benchmark rejects flags it does not know, so peel off
-  // --metrics-out and --threads before handing argv over.
-  std::string metrics_path;
+  // --metrics-out / --history-out / --git-sha / --threads before
+  // handing argv over.
+  std::string metrics_path, history_path, git_sha;
   int threads = 4;
   std::vector<char*> args;
   constexpr std::string_view kFlag = "--metrics-out=";
+  constexpr std::string_view kHistory = "--history-out=";
+  constexpr std::string_view kSha = "--git-sha=";
   constexpr std::string_view kThreads = "--threads=";
   for (int i = 0; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a.rfind(kFlag, 0) == 0) {
       metrics_path = std::string(a.substr(kFlag.size()));
+      continue;
+    }
+    if (a.rfind(kHistory, 0) == 0) {
+      history_path = std::string(a.substr(kHistory.size()));
+      continue;
+    }
+    if (a.rfind(kSha, 0) == 0) {
+      git_sha = std::string(a.substr(kSha.size()));
       continue;
     }
     if (a.rfind(kThreads, 0) == 0) {
@@ -321,6 +389,11 @@ int main(int argc, char** argv) {
     }
     args.push_back(argv[i]);
   }
+  for (const char* env : {"PKIFMM_GIT_SHA", "GITHUB_SHA"}) {
+    if (!git_sha.empty()) break;
+    if (const char* v = std::getenv(env)) git_sha = v;
+  }
+  if (git_sha.empty()) git_sha = "unknown";
 
   // The pool-scaling benches sweep worker counts up to --threads=K
   // (K threads per rank means K-1 pool workers next to the caller).
@@ -334,6 +407,11 @@ int main(int argc, char** argv) {
         ->Arg(w);
     benchmark::RegisterBenchmark("BM_GemmBatchParallel", BM_GemmBatchParallel)
         ->Arg(w);
+    benchmark::RegisterBenchmark("BM_DagGraphThroughput",
+                                 BM_DagGraphThroughput)
+        ->Arg(w);
+    benchmark::RegisterBenchmark("BM_DagReleaseLatency", BM_DagReleaseLatency)
+        ->Arg(w);
   }
 
   int nargs = static_cast<int>(args.size());
@@ -344,13 +422,51 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  const obs::Json runs = reporter.take_runs();
   if (!metrics_path.empty()) {
     obs::Json doc = obs::Json::object();
     doc.set("schema", "pkifmm.micro-metrics.v1");
     doc.set("bench", "micro");
-    doc.set("runs", reporter.take_runs());
+    doc.set("runs", runs);
     obs::write_json_file(metrics_path, doc);
     std::printf("[metrics] wrote %s\n", metrics_path.c_str());
+  }
+  if (!history_path.empty()) {
+    // One compact "pkifmm.run.v1" line for tools/pkifmm_trend: each
+    // google-benchmark run becomes a phase whose wall/cpu are the
+    // per-iteration adjusted times in seconds. Flops are 0 — the flop
+    // gate's floor ignores them; the longitudinal signal here is the
+    // per-item time of the scheduling/kernel substrates (e.g. the
+    // BM_Dag* overhead benches drifting up).
+    auto unit_seconds = [](const std::string& u) {
+      if (u == "ns") return 1e-9;
+      if (u == "us") return 1e-6;
+      if (u == "ms") return 1e-3;
+      return 1.0;
+    };
+    obs::Json rec = obs::Json::object();
+    rec.set("schema", obs::kRunSchema);
+    rec.set("bench", "micro");
+    rec.set("git_sha", git_sha);
+    rec.set("nranks", std::int64_t{1});
+    rec.set("nruns", static_cast<std::int64_t>(runs.size()));
+    rec.set("hw_source", "none");  // no per-phase hw counters here
+    obs::Json config = obs::Json::object();
+    config.set("threads", std::int64_t{threads});
+    rec.set("config", std::move(config));
+    obs::Json phases = obs::Json::object();
+    for (const obs::Json& r : runs.items()) {
+      const double scale = unit_seconds(r.at("time_unit").as_string());
+      obs::Json ph = obs::Json::object();
+      ph.set("wall", r.at("real_time").as_double() * scale);
+      ph.set("cpu", r.at("cpu_time").as_double() * scale);
+      ph.set("flops", 0.0);
+      phases.set(r.at("name").as_string(), std::move(ph));
+    }
+    rec.set("phases", std::move(phases));
+    obs::append_run_record(history_path, rec);
+    std::printf("[metrics] appended run record to %s (sha %s)\n",
+                history_path.c_str(), git_sha.c_str());
   }
   return 0;
 }

@@ -66,6 +66,11 @@ class Evaluator {
   ~Evaluator();
 
   /// Runs the full pipeline with per-phase timing/flop accounting.
+  /// Dispatches on FmmOptions::exec_mode: kBulkSync executes the
+  /// phases in sequence with a barrier between each; kDag (with the
+  /// batched engine) executes them as one dependency-counted
+  /// util::TaskGraph via run_dag(). Both produce bitwise-identical
+  /// potentials and exact flop equality for any thread count.
   void run();
 
   /// Target potentials aligned with Let::points (tdim per point).
@@ -141,6 +146,14 @@ class Evaluator {
   void vli_dense_batched();
   void vli_fft_batched();
   void downward_batched();
+
+  /// Data-driven execution of the whole batched pipeline as one
+  /// util::TaskGraph (FmmOptions::exec_mode = kDag): the bulk engine's
+  /// chunks become DAG nodes, edges exist only where a chunk reads
+  /// another chunk's output, and the Algorithm 3 reduce releases
+  /// ghost-gated V-list work incrementally per level as complete
+  /// densities arrive. See DESIGN.md "DAG executor".
+  void run_dag();
 
   // ULI ‖ far-field overlap: uli_start() submits the per-node-range
   // U-list chunks as background pool tasks writing f_uli_; uli_join()

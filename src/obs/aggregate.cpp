@@ -31,7 +31,9 @@ Json stats_json(const Accumulator& a) {
   out.set("stddev", s.stddev);
   out.set("sum", s.avg * static_cast<double>(s.count));
   out.set("count", static_cast<std::int64_t>(s.count));
-  out.set("imbalance", s.imbalance());
+  // Omitted (not 1.0) when undefined — zero-wall phases and all-zero
+  // metrics have no meaningful max/avg ratio (see Summary::has_imbalance).
+  if (s.has_imbalance()) out.set("imbalance", s.imbalance());
   return out;
 }
 
@@ -510,9 +512,12 @@ Json summarize_runs(const std::string& bench,
     ph.set("msgs_sent", stats_json(agg.msgs));
     ph.set("bytes_sent", stats_json(agg.bytes));
     ph.set("critical_path", agg.makespan);
+    // Defined only for phases with spans and a nonzero makespan window;
+    // omitted otherwise (a fabricated 1.0 for a zero-wall phase would
+    // read as "measured, perfectly overlapped").
     const double window = static_cast<double>(nranks) * agg.makespan;
-    ph.set("overlap_efficiency",
-           agg.has_span && window > 0.0 ? agg.busy / window : 1.0);
+    if (agg.has_span && window > 0.0)
+      ph.set("overlap_efficiency", agg.busy / window);
     if (agg.has_span && have_flows) ph.set("slack", stats_json(agg.slack));
     if (agg.has_decomp) {
       ph.set("comm_wait", stats_json(agg.comm_wait));
@@ -599,11 +604,18 @@ void validate_summary_json(const Json& doc) {
 
   const Json& metrics = doc.at("metrics");
   PKIFMM_CHECK(metrics.type() == Json::Type::kObject);
-  for (const std::string& name : metrics.keys())
-    for (const char* field :
-         {"min", "max", "avg", "stddev", "sum", "count", "imbalance"})
+  for (const std::string& name : metrics.keys()) {
+    for (const char* field : {"min", "max", "avg", "stddev", "sum", "count"})
       PKIFMM_CHECK_MSG(metrics.at(name).contains(field),
                        "metric '" << name << "' missing '" << field << "'");
+    // Optional: omitted for degenerate (zero/empty) sample sets, but
+    // must be numeric and finite when present.
+    if (metrics.at(name).contains("imbalance")) {
+      const Json& im = metrics.at(name).at("imbalance");
+      PKIFMM_CHECK_MSG(im.is_number() && std::isfinite(im.as_double()),
+                       "metric '" << name << "' imbalance not finite");
+    }
+  }
 
   const Json& phases = doc.at("phases");
   PKIFMM_CHECK(phases.type() == Json::Type::kObject);
@@ -614,9 +626,17 @@ void validate_summary_json(const Json& doc) {
       PKIFMM_CHECK_MSG(ph.contains(field) && ph.at(field).contains("sum"),
                        "phase '" << name << "' missing stats '" << field
                                  << "'");
-    for (const char* field : {"critical_path", "overlap_efficiency"})
-      PKIFMM_CHECK_MSG(ph.contains(field) && ph.at(field).is_number(),
-                       "phase '" << name << "' missing '" << field << "'");
+    PKIFMM_CHECK_MSG(ph.contains("critical_path") &&
+                         ph.at("critical_path").is_number(),
+                     "phase '" << name << "' missing 'critical_path'");
+    // Optional: omitted for zero-wall / span-less phases, but must be a
+    // finite number when present.
+    if (ph.contains("overlap_efficiency")) {
+      const Json& oe = ph.at("overlap_efficiency");
+      PKIFMM_CHECK_MSG(oe.is_number() && std::isfinite(oe.as_double()),
+                       "phase '" << name
+                                 << "' overlap_efficiency not finite");
+    }
     // Flow-derived fields are optional (present for --flow-trace runs).
     if (ph.contains("decomp")) {
       const Json& d = ph.at("decomp");

@@ -46,8 +46,17 @@ struct Summary {
   /// max/avg as-is (callers aggregating signed gauges get the raw
   /// ratio, not a silently clamped one).
   double imbalance() const {
-    if (count == 0 || avg == 0.0 || !std::isfinite(avg)) return 1.0;
+    if (!has_imbalance()) return 1.0;
     return max / avg;
+  }
+
+  /// True when the imbalance ratio is actually defined (nonempty set,
+  /// finite nonzero mean). JSON emitters omit the "imbalance" field
+  /// when this is false — a reader must not see a fabricated 1.0 for a
+  /// phase that never ran (zero-wall) and mistake it for "measured and
+  /// perfectly balanced".
+  bool has_imbalance() const {
+    return count > 0 && avg != 0.0 && std::isfinite(avg);
   }
 };
 

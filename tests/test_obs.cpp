@@ -446,6 +446,44 @@ TEST(Aggregate, SpanFallbackGivesPhaseTotalsAndOverlap) {
   EXPECT_DOUBLE_EQ(ph.at("overlap_efficiency").as_double(), 4.0 / 6.0);
 }
 
+TEST(Aggregate, ZeroWallPhaseOmitsImbalanceAndOverlap) {
+  // A phase whose canonical wall counters are all zero (declared but
+  // never entered) and an all-zero metric: max/avg is undefined, so
+  // the summary must OMIT "imbalance" and "overlap_efficiency" rather
+  // than emit NaN/Inf or a fabricated 1.0 — and still validate.
+  std::vector<RankMetrics> ranks;
+  for (int r = 0; r < 2; ++r) {
+    RankMetrics rm;
+    rm.rank = r;
+    rm.counters["time.eval.wli.wall"] = 0.0;
+    rm.counters["time.eval.wli.cpu"] = 0.0;
+    rm.counters["flops.eval.wli"] = 0.0;
+    ranks.push_back(std::move(rm));
+  }
+  const Json doc = summarize_metrics(ranks);
+  validate_summary_json(doc);
+
+  const Json& m = doc.at("metrics").at("time.eval.wli.wall");
+  EXPECT_EQ(m.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(m.at("avg").as_double(), 0.0);
+  EXPECT_FALSE(m.contains("imbalance"));
+
+  const Json& ph = doc.at("phases").at("eval.wli");
+  EXPECT_DOUBLE_EQ(ph.at("wall").at("sum").as_double(), 0.0);
+  EXPECT_FALSE(ph.at("wall").contains("imbalance"));
+  // Counter-only phase, no spans: no makespan window exists.
+  EXPECT_FALSE(ph.contains("overlap_efficiency"));
+
+  // JSON round-trip revalidates (the optional fields stay optional).
+  validate_summary_json(Json::parse(doc.dump()));
+
+  // Nondegenerate phases still carry both fields (guard against the
+  // omission being overeager): reuse the synthetic two-rank setup.
+  const Json live = summarize_metrics({synth_rank(0, 1.0), synth_rank(1, 3.0)});
+  EXPECT_TRUE(
+      live.at("phases").at("eval.uli").at("wall").contains("imbalance"));
+}
+
 TEST(Aggregate, MultiRunMergeAccumulates) {
   std::vector<RankMetrics> run1 = {synth_rank(0, 1.0), synth_rank(1, 3.0)};
   std::vector<RankMetrics> run2 = {synth_rank(0, 2.0), synth_rank(1, 4.0)};

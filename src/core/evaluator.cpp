@@ -1694,13 +1694,6 @@ std::vector<double> leaf_work_estimates(const Tables& tables,
     for (const octree::PointRec& pt : let.points_of(let.nodes[i]))
       if (pt.is_source()) nsrc[i] += 1.0;
 
-  // Consumers per V-list source: the forward FFT of a source is computed
-  // once per level and shared by every target referencing it, so its
-  // cost is amortized over its consumers in the per-leaf weights.
-  std::vector<double> consumers(let.nodes.size(), 0.0);
-  for (std::size_t i = 0; i < let.nodes.size(); ++i)
-    for (auto si : let.v.of(i)) consumers[si] += 1.0;
-
   std::vector<double> weights;
   for (std::size_t i = 0; i < let.nodes.size(); ++i) {
     const octree::LetNode& node = let.nodes[i];
@@ -1708,14 +1701,18 @@ std::vector<double> leaf_work_estimates(const Tables& tables,
     const double ntrg = node.target_count;
     double w = 0.0;
     for (auto si : let.u.of(i)) w += ntrg * nsrc[si] * kflops;
-    // V: per-pair diagonal multiply on the padded grid, plus the
-    // per-target inverse FFT and the amortized per-source forward FFTs.
+    // V: per-pair diagonal multiply on the padded grid, plus one
+    // inverse FFT on the target side and one forward FFT on the source
+    // side. The forward-FFT charge is deliberately a function of the
+    // leaf alone (not of how many targets consume its spectrum): the
+    // weights must be identical no matter which rank currently owns
+    // which leaf, so that the weighted partition is a pure function of
+    // the global tree — the incremental setup path maintains that
+    // partition step by step and relies on reproducing it exactly.
     const auto vlist = let.v.of(i);
     w += double(vlist.size()) * 8.0 * tables.fft_volume() *
          tables.sdim() * tables.tdim();
-    if (!vlist.empty()) w += tables.tdim() * tf;
-    for (auto si : vlist)
-      w += tables.sdim() * tf / std::max(consumers[si], 1.0);
+    if (!vlist.empty()) w += (tables.tdim() + tables.sdim()) * tf;
     w += double(let.w.of(i).size()) * ntrg * m * kflops;
     for (auto si : let.x.of(i)) w += nsrc[si] * m * kflops;
     // S2U + D2T per-leaf work.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "obs/aggregate.hpp"
 #include "obs/flow.hpp"
@@ -27,6 +28,16 @@ ParallelFmm::~ParallelFmm() {
   if (flow_ == nullptr) return;
   ctx_.comm.cost().bind_flow(nullptr);
   flow_->publish(ctx_.rec);
+}
+
+void ParallelFmm::set_let_gauges() {
+  // Memory telemetry: what Algorithm 2's ghost exchange replicated on
+  // this rank versus the whole LET (the current one — setup and each
+  // incremental repair both refresh these).
+  ctx_.rec.gauge_set("mem.let.ghost_bytes",
+                     static_cast<double>(let_->ghost_bytes()));
+  ctx_.rec.gauge_set("mem.let.total_bytes",
+                     static_cast<double>(let_->total_bytes()));
 }
 
 void ParallelFmm::setup(std::vector<octree::PointRec> points) {
@@ -55,7 +66,7 @@ void ParallelFmm::setup(std::vector<octree::PointRec> points) {
   ctx_.comm.cost().set_phase("setup.let");
   {
     auto t = ctx_.timer.scope("setup.let");
-    let_ = std::make_unique<octree::Let>(octree::build_let(ctx_.comm, tree));
+    let_ = std::make_unique<octree::Let>(let_sync_.build(ctx_.comm, tree));
     octree::build_interaction_lists(*let_);
   }
 
@@ -64,17 +75,16 @@ void ParallelFmm::setup(std::vector<octree::PointRec> points) {
     auto t = ctx_.timer.scope("setup.balance");
     const auto weights = leaf_work_estimates(tables_, *let_);
     tree = octree::load_balance(ctx_.comm, std::move(tree), weights);
-    let_ = std::make_unique<octree::Let>(octree::build_let(ctx_.comm, tree));
+    let_ = std::make_unique<octree::Let>(let_sync_.build(ctx_.comm, tree));
     octree::build_interaction_lists(*let_);
   }
 
-  // Memory telemetry: what Algorithm 2's ghost exchange replicated on
-  // this rank versus the whole LET (the final one if load balancing
-  // rebuilt it).
-  ctx_.rec.gauge_set("mem.let.ghost_bytes",
-                     static_cast<double>(let_->ghost_bytes()));
-  ctx_.rec.gauge_set("mem.let.total_bytes",
-                     static_cast<double>(let_->total_bytes()));
+  // Retain the owned tree: update_points repairs it in place instead
+  // of rebuilding from the point cloud.
+  tree_ = std::move(tree);
+  over_threshold_steps_ = 0;
+  update_stats_ = {};
+  set_let_gauges();
 }
 
 void ParallelFmm::set_densities(const std::vector<std::uint64_t>& gids,
@@ -84,8 +94,12 @@ void ParallelFmm::set_densities(const std::vector<std::uint64_t>& gids,
   PKIFMM_CHECK(densities.size() == gids.size() * static_cast<std::size_t>(sd));
   std::unordered_map<std::uint64_t, std::size_t> by_gid;
   by_gid.reserve(gids.size());
-  for (std::size_t i = 0; i < gids.size(); ++i) by_gid.emplace(gids[i], i);
+  for (std::size_t i = 0; i < gids.size(); ++i) {
+    const bool inserted = by_gid.emplace(gids[i], i).second;
+    PKIFMM_CHECK_MSG(inserted, "set_densities: duplicate gid " << gids[i]);
+  }
 
+  std::size_t matched = 0;
   for (octree::LetNode& node : let_->nodes) {
     if (!node.owned) continue;
     for (octree::PointRec& pt : let_->points_of(node)) {
@@ -94,8 +108,207 @@ void ParallelFmm::set_densities(const std::vector<std::uint64_t>& gids,
                        "set_densities missing gid " << pt.gid);
       for (int c = 0; c < sd; ++c)
         pt.den[c] = densities[it->second * sd + c];
+      ++matched;
     }
   }
+  // Every owned point consumed one distinct map entry, so a surplus
+  // entry is a gid this rank does not own.
+  PKIFMM_CHECK_MSG(matched == by_gid.size(),
+                   "set_densities: " << (by_gid.size() - matched)
+                                     << " gid(s) not owned by this rank");
+
+  // The retained tree is density-authoritative for the incremental
+  // path: repair and the LET delta exchange re-ship leaf buckets from
+  // tree_.points, so the current densities must live there too.
+  for (octree::PointRec& pt : tree_.points) {
+    auto it = by_gid.find(pt.gid);
+    PKIFMM_CHECK_MSG(it != by_gid.end(),
+                     "set_densities missing gid " << pt.gid);
+    for (int c = 0; c < sd; ++c)
+      pt.den[c] = densities[it->second * sd + c];
+  }
+  densities_dirty_ = true;
+}
+
+double ParallelFmm::evaluate_imbalance() const {
+  if (summary_.type() != obs::Json::Type::kObject) return 0.0;
+  if (!summary_.contains("phases")) return 0.0;
+  const obs::Json& phases = summary_.at("phases");
+  if (phases.type() != obs::Json::Type::kObject || !phases.contains("eval"))
+    return 0.0;
+  const obs::Json& eval = phases.at("eval");
+  if (eval.type() != obs::Json::Type::kObject || !eval.contains("cpu"))
+    return 0.0;
+  const obs::Json& cpu = eval.at("cpu");
+  if (cpu.type() != obs::Json::Type::kObject || !cpu.contains("imbalance"))
+    return 0.0;
+  return cpu.at("imbalance").as_double();
+}
+
+void ParallelFmm::full_rebuild_with(
+    const std::vector<octree::PointMove>& moves) {
+  // Same input validation as the incremental path, so the escape hatch
+  // and the repair agree on what a malformed call is.
+  {
+    std::vector<std::uint64_t> gids;
+    gids.reserve(moves.size());
+    for (const octree::PointMove& m : moves) gids.push_back(m.gid);
+    std::sort(gids.begin(), gids.end());
+    PKIFMM_CHECK_MSG(
+        std::adjacent_find(gids.begin(), gids.end()) == gids.end(),
+        "update_points: duplicate gid in moves");
+  }
+  std::unordered_map<std::uint64_t, std::size_t> by_gid;
+  by_gid.reserve(tree_.points.size());
+  for (std::size_t i = 0; i < tree_.points.size(); ++i)
+    by_gid.emplace(tree_.points[i].gid, i);
+  for (const octree::PointMove& m : moves) {
+    auto it = by_gid.find(m.gid);
+    PKIFMM_CHECK_MSG(it != by_gid.end(), "update_points: gid "
+                                             << m.gid
+                                             << " is not owned by this rank");
+    octree::PointRec& pt = tree_.points[it->second];
+    for (int c = 0; c < 3; ++c) pt.pos[c] = m.pos[c];
+  }
+
+  ctx_.rec.counter_add("setup.incr.full_rebuilds", 1.0);
+  std::vector<octree::PointRec> pts = std::move(tree_.points);
+  tree_ = {};
+  setup(std::move(pts));
+  update_stats_ = {};
+  update_stats_.full_rebuild = true;
+  update_stats_.moved_points = moves.size();
+  densities_dirty_ = true;
+}
+
+void ParallelFmm::update_points(const std::vector<octree::PointMove>& moves) {
+  PKIFMM_CHECK_MSG(let_ != nullptr, "setup() must run before update_points()");
+  const FmmOptions& opts = tables_.options();
+
+  // Threshold mode coasts on the current partition until the measured
+  // evaluate imbalance has stayed at or above the threshold for
+  // repart_hysteresis consecutive calls, then re-canonicalizes with one
+  // full rebuild. The imbalance comes from the cross-rank summary,
+  // which is identical on every rank, so the decision is collectively
+  // consistent without extra communication.
+  const bool threshold_mode =
+      opts.load_balance && opts.repart_imbalance_threshold > 1.0;
+  // repair_tree reproduces the canonical (unbalanced) leaf set; with
+  // 2:1 refinement on, only a full rebuild preserves the parity
+  // contract.
+  bool force_full = !opts.incremental_setup || opts.balance_2to1;
+  if (!force_full && threshold_mode) {
+    if (evaluate_imbalance() >= opts.repart_imbalance_threshold) {
+      if (++over_threshold_steps_ >= std::max(opts.repart_hysteresis, 1)) {
+        force_full = true;
+        over_threshold_steps_ = 0;
+      }
+    } else {
+      over_threshold_steps_ = 0;
+    }
+  }
+  if (force_full) {
+    full_rebuild_with(moves);
+    return;
+  }
+
+  octree::BuildParams bp;
+  bp.max_points_per_leaf = opts.max_points_per_leaf;
+  bp.max_level = opts.max_level;
+
+  update_stats_ = {};
+  update_stats_.moved_points = moves.size();
+
+  auto root = ctx_.rec.span("setup");
+
+  ctx_.comm.cost().set_phase("setup.incr.tree");
+  octree::RepairResult rep;
+  {
+    auto t = ctx_.timer.scope("setup.incr.tree");
+    rep = octree::repair_tree(ctx_.comm, tree_,
+                              std::span<const octree::PointMove>(moves), bp);
+  }
+  update_stats_.migrated_points = rep.stats.migrated_points;
+  update_stats_.dirty_leaves = rep.stats.dirty_leaves;
+  update_stats_.kept_leaves = rep.stats.kept_leaves;
+
+  ctx_.comm.cost().set_phase("setup.incr.let");
+  {
+    auto t = ctx_.timer.scope("setup.incr.let");
+    octree::LetSyncStats ls;
+    octree::ListRepairStats lr;
+    auto next = std::make_unique<octree::Let>(
+        let_sync_.update(ctx_.comm, tree_, rep.dirty_leaves, &ls));
+    octree::repair_interaction_lists(*let_, *next, &lr);
+    let_ = std::move(next);
+    update_stats_.ghost_octants_sent += ls.octants_sent + ls.removes_sent;
+    update_stats_.ghost_ranks += ls.ranks_touched;
+    update_stats_.lists_rebuilt += lr.rebuilt_targets;
+    update_stats_.lists_kept += lr.kept_targets;
+  }
+
+  // Track mode (the default): re-derive the canonical work-weighted
+  // destinations every step and migrate as soon as any leaf's
+  // destination changed. The weights are a pure per-leaf function of
+  // the global tree (ownership-independent) and the prefix scan runs
+  // over the allgathered global vector, so the partition never drifts
+  // from what a from-scratch setup() would choose — which is what
+  // keeps the bitwise-parity contract at any rank count.
+  if (opts.load_balance && !threshold_mode && ctx_.comm.size() > 1) {
+    ctx_.comm.cost().set_phase("setup.incr.balance");
+    auto t = ctx_.timer.scope("setup.incr.balance");
+    const auto weights = leaf_work_estimates(tables_, *let_);
+    const auto dest = octree::weighted_destinations(ctx_.comm, weights);
+    std::uint64_t local_moves = 0;
+    for (std::size_t i = 0; i < dest.size(); ++i)
+      if (dest[i] != ctx_.comm.rank()) ++local_moves;
+    const std::uint64_t global_moves = ctx_.comm.allreduce_sum(local_moves);
+    if (global_moves > 0) {
+      update_stats_.repartitioned = true;
+      update_stats_.leaf_migrations = static_cast<std::size_t>(local_moves);
+      tree_ = octree::migrate_leaves(ctx_.comm, std::move(tree_), dest);
+      // Migration changes ownership, not bucket content: the LetSync
+      // diff of the new own-key set against the retained staging is
+      // the whole delta, so no leaves are dirty.
+      octree::LetSyncStats ls;
+      octree::ListRepairStats lr;
+      auto next = std::make_unique<octree::Let>(
+          let_sync_.update(ctx_.comm, tree_, {}, &ls));
+      octree::repair_interaction_lists(*let_, *next, &lr);
+      let_ = std::move(next);
+      update_stats_.ghost_octants_sent += ls.octants_sent + ls.removes_sent;
+      update_stats_.ghost_ranks += ls.ranks_touched;
+      update_stats_.lists_rebuilt += lr.rebuilt_targets;
+      update_stats_.lists_kept += lr.kept_targets;
+    }
+  }
+
+  ctx_.rec.counter_add("setup.incr.steps", 1.0);
+  ctx_.rec.counter_add("setup.incr.moved_points",
+                       static_cast<double>(update_stats_.moved_points));
+  ctx_.rec.counter_add("setup.incr.migrated_points",
+                       static_cast<double>(update_stats_.migrated_points));
+  ctx_.rec.counter_add("setup.incr.dirty_leaves",
+                       static_cast<double>(update_stats_.dirty_leaves));
+  ctx_.rec.counter_add("setup.incr.kept_leaves",
+                       static_cast<double>(update_stats_.kept_leaves));
+  ctx_.rec.counter_add("setup.incr.ghost_octants",
+                       static_cast<double>(update_stats_.ghost_octants_sent));
+  ctx_.rec.counter_add("setup.incr.ghost_ranks",
+                       static_cast<double>(update_stats_.ghost_ranks));
+  ctx_.rec.counter_add("setup.incr.lists_rebuilt",
+                       static_cast<double>(update_stats_.lists_rebuilt));
+  ctx_.rec.counter_add("setup.incr.lists_kept",
+                       static_cast<double>(update_stats_.lists_kept));
+  ctx_.rec.counter_add("setup.incr.leaf_migrations",
+                       static_cast<double>(update_stats_.leaf_migrations));
+  if (update_stats_.repartitioned)
+    ctx_.rec.counter_add("setup.incr.repartitions", 1.0);
+
+  set_let_gauges();
+  // The delta assembly restores unchanged ghosts from staging captured
+  // at SET time; the refresh at the next evaluate() re-ships current
+  // densities, restoring exact agreement with a from-scratch build.
   densities_dirty_ = true;
 }
 

@@ -25,6 +25,7 @@
 #include "core/tables.hpp"
 #include "obs/json.hpp"
 #include "octree/partition.hpp"
+#include "octree/update.hpp"
 
 namespace pkifmm::core {
 
@@ -63,6 +64,34 @@ class ParallelFmm {
   /// kernel with a gradient companion (Laplace, Yukawa).
   Result evaluate(bool with_gradient = false);
 
+  /// Moves owned points (each gid must be owned by this rank) and
+  /// repairs the tree, the LET and the interaction lists in place —
+  /// the per-step cost is proportional to churn, not N. Collective:
+  /// every rank calls it each step, with possibly empty moves. The
+  /// resulting state is bitwise identical to a from-scratch setup()
+  /// on the union of all ranks' updated points (see
+  /// FmmOptions::incremental_setup and repart_imbalance_threshold for
+  /// the policy and its escape hatches). Densities are preserved;
+  /// ghost copies refresh at the next evaluate().
+  void update_points(const std::vector<octree::PointMove>& moves);
+
+  /// What the last update_points() did (repair vs rebuild, churn,
+  /// traffic) — the per-call view of the `setup.incr.*` counters.
+  struct UpdateStats {
+    bool full_rebuild = false;   ///< fell back to the full setup pipeline
+    bool repartitioned = false;  ///< canonical destinations moved leaves
+    std::size_t moved_points = 0;
+    std::size_t migrated_points = 0;  ///< points that changed rank
+    std::size_t dirty_leaves = 0;     ///< leaves re-bucketed by the repair
+    std::size_t kept_leaves = 0;      ///< leaves reused untouched
+    std::size_t leaf_migrations = 0;  ///< leaves repartitioned away
+    std::size_t ghost_octants_sent = 0;
+    std::size_t ghost_ranks = 0;      ///< ranks receiving a LET delta
+    std::size_t lists_rebuilt = 0;    ///< targets with recomputed lists
+    std::size_t lists_kept = 0;       ///< targets with remapped lists
+  };
+  const UpdateStats& last_update_stats() const { return update_stats_; }
+
   const octree::Let& let() const { return *let_; }
   const Tables& tables() const { return tables_; }
 
@@ -81,10 +110,24 @@ class ParallelFmm {
   const obs::Json& summary() const { return summary_; }
 
  private:
+  /// Evaluate-phase cpu imbalance (max/avg) from the last summary —
+  /// identical on every rank, so the threshold policy's decision is
+  /// collectively consistent. 0 before the first evaluate().
+  double evaluate_imbalance() const;
+  void full_rebuild_with(const std::vector<octree::PointMove>& moves);
+  void set_let_gauges();
+
   comm::RankCtx& ctx_;
   const Tables& tables_;
   std::unique_ptr<obs::FlowRecorder> flow_;  ///< bound iff non-null
   std::unique_ptr<octree::Let> let_;
+  /// Retained across calls for the incremental path: the owned tree
+  /// (repaired in place by update_points) and the LET staging diffed
+  /// against on each delta exchange.
+  octree::OwnedTree tree_;
+  octree::LetSync let_sync_;
+  UpdateStats update_stats_;
+  int over_threshold_steps_ = 0;
   obs::Json summary_;
   bool densities_dirty_ = false;
 };

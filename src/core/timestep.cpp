@@ -1,0 +1,70 @@
+#include "core/timestep.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pkifmm::core {
+
+namespace {
+
+/// splitmix64 — the selection hash. Mixing (gid, step) through it gives
+/// a per-step pseudo-random subset that every rank agrees on without
+/// communication.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Periodic wrap into [0, 1). The fold can round to exactly 1.0 for
+/// tiny negative inputs; map that back to 0 (the same cube corner).
+double wrap01(double x) {
+  x -= std::floor(x);
+  if (!(x >= 0.0) || x >= 1.0) x = 0.0;
+  return x;
+}
+
+}  // namespace
+
+TimeStepper::TimeStepper(ParallelFmm& fmm, VelocityFn velocity,
+                         TimeStepOptions opts)
+    : fmm_(fmm), velocity_(std::move(velocity)), opts_(opts) {
+  PKIFMM_CHECK(opts_.dt > 0.0);
+  PKIFMM_CHECK(opts_.move_fraction >= 0.0 && opts_.move_fraction <= 1.0);
+}
+
+std::size_t TimeStepper::step() {
+  // Selection threshold on the 64-bit hash value: hash < frac * 2^64.
+  const double frac = opts_.move_fraction;
+  const std::uint64_t threshold =
+      frac >= 1.0 ? ~0ULL
+                  : static_cast<std::uint64_t>(
+                        frac * 18446744073709551616.0 /* 2^64 */);
+
+  std::vector<octree::PointMove> moves;
+  const octree::Let& let = fmm_.let();
+  for (const octree::LetNode& node : let.nodes) {
+    if (!(node.owned && node.global_leaf)) continue;
+    for (const octree::PointRec& pt : let.points_of(node)) {
+      if (frac < 1.0 && mix64(pt.gid ^ mix64(steps_ + 1)) >= threshold)
+        continue;
+      const std::array<double, 3> x{pt.pos[0], pt.pos[1], pt.pos[2]};
+      const std::array<double, 3> v = velocity_(pt.gid, x, t_);
+      octree::PointMove m;
+      m.gid = pt.gid;
+      for (int c = 0; c < 3; ++c)
+        m.pos[c] = wrap01(x[c] + opts_.dt * v[c]);
+      moves.push_back(m);
+    }
+  }
+
+  fmm_.update_points(moves);
+  t_ += opts_.dt;
+  ++steps_;
+  return moves.size();
+}
+
+}  // namespace pkifmm::core

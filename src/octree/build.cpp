@@ -87,13 +87,7 @@ std::vector<Bits> point_splitters(comm::Comm& c,
   return s;
 }
 
-/// Per-octant global census for octants that may straddle rank
-/// boundaries: ancestors (and self) of every boundary cell.
-struct StraddlerTable {
-  std::unordered_map<Key, std::size_t, morton::KeyHash> index;
-  std::vector<std::uint64_t> global_count;
-  std::vector<int> first_contributor;
-};
+}  // namespace
 
 StraddlerTable build_straddler_table(comm::Comm& c,
                                      const std::vector<PointRec>& pts,
@@ -136,6 +130,8 @@ StraddlerTable build_straddler_table(comm::Comm& c,
   }
   return table;
 }
+
+namespace {
 
 /// Top-down refinement of the local point range. Straddling octants use
 /// the exchanged global census so every overlapped rank takes the same

@@ -17,6 +17,7 @@
 /// contributing rank and the other ranks migrate their points there.
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -63,5 +64,24 @@ std::vector<std::size_t> build_leaf_csr(const std::vector<morton::Key>& leaves,
 /// splitters array from OwnedTree.
 std::pair<int, int> overlapping_ranks(const morton::Key& k,
                                       const std::vector<morton::Bits>& splitters);
+
+/// Per-octant global census for octants that may straddle rank
+/// boundaries: ancestors (and self) of every boundary cell. Local
+/// information cannot decide the split of these octants, so their
+/// global counts (and the lowest contributing rank — the owner if the
+/// octant becomes a leaf) are exchanged explicitly. Shared between the
+/// from-scratch build and the incremental repair (update.hpp).
+struct StraddlerTable {
+  std::unordered_map<morton::Key, std::size_t, morton::KeyHash> index;
+  std::vector<std::uint64_t> global_count;
+  std::vector<int> first_contributor;
+};
+
+/// Builds the census for `splitters`' boundary cells from the locally
+/// held (Morton-sorted) points. Collective.
+StraddlerTable build_straddler_table(comm::Comm& c,
+                                     const std::vector<PointRec>& pts,
+                                     const std::vector<morton::Bits>& splitters,
+                                     int max_level);
 
 }  // namespace pkifmm::octree

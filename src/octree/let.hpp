@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -97,13 +98,82 @@ struct Let {
   std::unordered_map<morton::Key, std::int32_t, morton::KeyHash> index_;
 };
 
-/// Paper Algorithm 2: exchanges ghost octants and assembles the LET.
-/// Does NOT build the interaction lists; call build_interaction_lists.
+/// What one LetSync exchange moved (feeds the `setup.incr.*` metrics).
+struct LetSyncStats {
+  std::size_t octants_sent = 0;     ///< SET messages (add or replace)
+  std::size_t removes_sent = 0;     ///< REMOVE messages
+  std::size_t ghost_points_sent = 0;
+  std::size_t octants_recv = 0;
+  std::size_t removes_recv = 0;
+  std::size_t ranks_touched = 0;    ///< destinations with a nonempty delta
+};
+
+/// Persistent ghost-octant synchronisation (paper Algorithm 2, made
+/// incremental). The full build and the incremental update run the
+/// same protocol: each rank diffs what it must contribute (its leaves
+/// and ancestors, addressed to every user rank) against what it last
+/// sent, ships only SET/REMOVE deltas, and reassembles the LET from
+/// the retained staging. A full build is simply the delta against
+/// empty state — so the two paths share every line of exchange and
+/// assembly code, and an update on a tree is bitwise identical to a
+/// from-scratch build on the same tree.
+class LetSync {
+ public:
+  /// Full Algorithm-2 exchange; (re)initializes the retained state.
+  Let build(comm::Comm& c, const OwnedTree& tree);
+
+  /// Incremental exchange. `dirty_leaves` are the owned leaves whose
+  /// point buckets changed since the previous build/update (from
+  /// repair_tree); added/removed/migrated octants are discovered by
+  /// diffing against the retained state. Collective.
+  Let update(comm::Comm& c, const OwnedTree& tree,
+             std::span<const morton::Key> dirty_leaves,
+             LetSyncStats* stats = nullptr);
+
+ private:
+  /// My contribution as of the last exchange: owned leaves and their
+  /// ancestors, with the destination ranks each was sent to.
+  struct OwnEntry {
+    bool leaf = false;
+    std::vector<std::int32_t> dests;  ///< sorted, excludes self
+  };
+  /// Ghost octants other ranks contributed, with the contributor set
+  /// (the entry lives while any contributor still stages it) and the
+  /// leaf payload in the sender's canonical point order.
+  struct GhostEntry {
+    std::vector<std::int32_t> contributors;  ///< sorted
+    std::int32_t leaf_from = -1;
+    std::vector<PointRec> pts;
+  };
+
+  Let assemble(const OwnedTree& tree) const;
+
+  std::map<morton::Key, OwnEntry> own_;
+  std::map<morton::Key, GhostEntry> ghost_;
+};
+
+/// Paper Algorithm 2: exchanges ghost octants and assembles the LET
+/// (one-shot LetSync::build). Does NOT build the interaction lists;
+/// call build_interaction_lists.
 Let build_let(comm::Comm& c, const OwnedTree& tree);
 
 /// Builds U/V/W/X lists for every target node of the LET, per the
 /// definitions in Table I of the paper.
 void build_interaction_lists(Let& let);
+
+struct ListRepairStats {
+  std::size_t rebuilt_targets = 0;
+  std::size_t kept_targets = 0;
+};
+
+/// Rebuilds `let`'s interaction lists reusing `prior`'s where possible:
+/// a target's lists are recomputed only if the structural diff between
+/// the two node arrays (added/removed octants, flag flips) touches the
+/// neighborhood of its parent — every U/V/W/X member lives inside (or
+/// overlaps) that region — otherwise the prior lists are index-remapped.
+/// The result is identical to build_interaction_lists(let).
+void repair_interaction_lists(const Let& prior, Let& let,
+                              ListRepairStats* stats = nullptr);
 
 /// Re-sends the densities of owned leaves whose ghosts live on other
 /// ranks (the paper's first evaluation communication step). Call before

@@ -19,45 +19,62 @@ static_assert(std::is_trivially_copyable_v<LeafMsg>);
 
 }  // namespace
 
-OwnedTree load_balance(comm::Comm& c, OwnedTree tree,
-                       const std::vector<double>& leaf_weights) {
+std::vector<int> weighted_destinations(comm::Comm& c,
+                                       std::span<const double> leaf_weights) {
   const int p = c.size();
-  PKIFMM_CHECK(leaf_weights.size() == tree.leaves.size());
+  auto per_rank = c.allgatherv(leaf_weights);
 
-  double local_w = 0.0;
-  for (double w : leaf_weights) local_w += w;
-  const double before = c.exscan_sum(local_w);
-  const double total = c.allreduce_sum(local_w);
+  // Every rank scans the same global vector in the same order, so the
+  // floating-point prefix sums (and therefore the destinations) agree
+  // exactly regardless of the current leaf distribution.
+  double total = 0.0;
+  std::uint64_t count_total = 0;
+  for (const auto& v : per_rank) {
+    for (double w : v) total += w;
+    count_total += v.size();
+  }
 
-  // Degenerate all-zero weights: fall back to equal leaf counts.
-  const auto count_before =
-      c.exscan_sum(static_cast<std::uint64_t>(tree.leaves.size()));
-  const auto count_total =
-      c.allreduce_sum(static_cast<std::uint64_t>(tree.leaves.size()));
+  std::vector<int> dest;
+  dest.reserve(leaf_weights.size());
+  double prefix = 0.0;
+  std::uint64_t idx = 0;
+  for (int r = 0; r < p; ++r) {
+    for (double w : per_rank[r]) {
+      int d;
+      if (total > 0.0) {
+        // Assign by the midpoint of the leaf's weight interval, as in
+        // the generic weighted partition.
+        d = static_cast<int>((prefix + 0.5 * w) / total * p);
+      } else {
+        d = static_cast<int>(idx * p / count_total);
+      }
+      d = std::clamp(d, 0, p - 1);
+      if (r == c.rank()) dest.push_back(d);
+      prefix += w;
+      ++idx;
+    }
+  }
+  return dest;
+}
+
+OwnedTree migrate_leaves(comm::Comm& c, OwnedTree tree,
+                         std::span<const int> dest) {
+  const int p = c.size();
+  PKIFMM_CHECK(dest.size() == tree.leaves.size());
 
   std::vector<std::vector<LeafMsg>> leaf_out(p);
   std::vector<std::vector<PointRec>> pts_out(p);
-  double prefix = before;
   for (std::size_t i = 0; i < tree.leaves.size(); ++i) {
-    const double w = leaf_weights[i];
-    int dest;
-    if (total > 0.0) {
-      // Assign by the midpoint of the leaf's weight interval, as in the
-      // generic weighted partition.
-      dest = static_cast<int>((prefix + 0.5 * w) / total * p);
-    } else {
-      dest = static_cast<int>((count_before + i) * p / count_total);
-    }
-    dest = std::clamp(dest, 0, p - 1);
-    prefix += w;
+    const int d = dest[i];
+    PKIFMM_CHECK(d >= 0 && d < p);
     const std::uint32_t npts = static_cast<std::uint32_t>(
         tree.leaf_point_offset[i + 1] - tree.leaf_point_offset[i]);
-    leaf_out[dest].push_back(
+    leaf_out[d].push_back(
         LeafMsg{morton::range_begin(tree.leaves[i]),
                 static_cast<std::uint8_t>(tree.leaves[i].level), npts});
-    pts_out[dest].insert(pts_out[dest].end(),
-                         tree.points.begin() + tree.leaf_point_offset[i],
-                         tree.points.begin() + tree.leaf_point_offset[i + 1]);
+    pts_out[d].insert(pts_out[d].end(),
+                      tree.points.begin() + tree.leaf_point_offset[i],
+                      tree.points.begin() + tree.leaf_point_offset[i + 1]);
   }
 
   auto leaf_in = c.alltoallv(std::move(leaf_out));
@@ -78,6 +95,13 @@ OwnedTree load_balance(comm::Comm& c, OwnedTree tree,
   out.leaf_point_offset = build_leaf_csr(out.leaves, out.points);
   out.splitters = recompute_splitters(c, out.leaves);
   return out;
+}
+
+OwnedTree load_balance(comm::Comm& c, OwnedTree tree,
+                       const std::vector<double>& leaf_weights) {
+  PKIFMM_CHECK(leaf_weights.size() == tree.leaves.size());
+  const auto dest = weighted_destinations(c, leaf_weights);
+  return migrate_leaves(c, std::move(tree), dest);
 }
 
 }  // namespace pkifmm::octree

@@ -9,6 +9,7 @@
 /// with their points; the caller rebuilds the LET and lists afterwards,
 /// exactly as the paper does.
 
+#include <span>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -16,10 +17,28 @@
 
 namespace pkifmm::octree {
 
-/// Repartitions leaves (and their points) by weight. `leaf_weights` is
-/// aligned with tree.leaves. Returns the migrated tree with fresh
-/// splitters and CSR. Order (global Morton order of leaves) is
-/// preserved.
+/// Work-weighted destinations: the global Morton-ordered weight vector
+/// is allgathered and prefix-summed left-to-right identically on every
+/// rank, so a leaf's destination is a pure function of the global
+/// weight vector — independent of which rank currently holds which
+/// leaf. (The incremental setup path relies on this: maintaining the
+/// canonical partition step by step then reproduces bit for bit what a
+/// from-scratch build would choose.) Returns one destination per local
+/// leaf; destinations are nondecreasing across the global leaf order.
+/// All-zero weights fall back to equal leaf counts.
+std::vector<int> weighted_destinations(comm::Comm& c,
+                                       std::span<const double> leaf_weights);
+
+/// Migrates leaves (and their points) to `dest` (aligned with
+/// tree.leaves, nondecreasing across ranks in global leaf order), then
+/// rebuilds the CSR and recomputes the splitters. The global Morton
+/// order of leaves is preserved.
+OwnedTree migrate_leaves(comm::Comm& c, OwnedTree tree,
+                         std::span<const int> dest);
+
+/// Repartitions leaves (and their points) by weight — a composition of
+/// weighted_destinations and migrate_leaves. `leaf_weights` is aligned
+/// with tree.leaves.
 OwnedTree load_balance(comm::Comm& c, OwnedTree tree,
                        const std::vector<double>& leaf_weights);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/direct.hpp"
@@ -530,6 +531,132 @@ TEST(Fmm, RepeatedEvaluationWithNewDensities) {
       EXPECT_NEAR(second.potentials[i], 2.0 * first.potentials[i],
                   1e-9 * std::abs(first.potentials[i]) + 1e-12);
   });
+}
+
+/// (gid, density) pairs covering every point this rank owns, in LET
+/// iteration order.
+void collect_owned_densities(const ParallelFmm& fmm, int sdim,
+                             std::vector<std::uint64_t>* gids,
+                             std::vector<double>* den) {
+  for (const auto& node : fmm.let().nodes) {
+    if (!node.owned) continue;
+    for (const auto& pt : fmm.let().points_of(node)) {
+      gids->push_back(pt.gid);
+      for (int c = 0; c < sdim; ++c) den->push_back(pt.den[c]);
+    }
+  }
+}
+
+TEST(Fmm, SetDensitiesRejectsBadGidSets) {
+  kernels::LaplaceKernel kernel;
+  FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 30;
+  const Tables tables(kernel, opts);
+  comm::Runtime::run(1, [&](comm::RankCtx& ctx) {
+    auto pts =
+        octree::generate_points(Distribution::kUniform, 400, 0, 1, 1, 7);
+    ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts));
+
+    std::vector<std::uint64_t> gids;
+    std::vector<double> den;
+    collect_owned_densities(fmm, 1, &gids, &den);
+    ASSERT_GE(gids.size(), 2u);
+
+    // Duplicate gid in the input.
+    auto dup_gids = gids;
+    auto dup_den = den;
+    dup_gids.push_back(gids.front());
+    dup_den.push_back(den.front());
+    EXPECT_THROW(fmm.set_densities(dup_gids, dup_den), CheckFailure);
+
+    // A gid this rank does not own (full cover plus a stranger).
+    auto extra_gids = gids;
+    auto extra_den = den;
+    extra_gids.push_back(1u << 30);  // gids are < n_global = 400
+    extra_den.push_back(0.0);
+    EXPECT_THROW(fmm.set_densities(extra_gids, extra_den), CheckFailure);
+
+    // Partial coverage: an owned gid is missing from the input.
+    auto part_gids = gids;
+    auto part_den = den;
+    part_gids.pop_back();
+    part_den.pop_back();
+    EXPECT_THROW(fmm.set_densities(part_gids, part_den), CheckFailure);
+
+    // Mismatched density count for the gid list.
+    auto short_den = den;
+    short_den.pop_back();
+    EXPECT_THROW(fmm.set_densities(gids, short_den), CheckFailure);
+
+    // A valid full cover still succeeds after the rejected calls, and
+    // evaluation reflects it (rejections must not corrupt state).
+    auto first = fmm.evaluate();
+    std::vector<double> doubled(den.size());
+    for (std::size_t i = 0; i < den.size(); ++i) doubled[i] = 2.0 * den[i];
+    fmm.set_densities(gids, doubled);
+    auto second = fmm.evaluate();
+    ASSERT_EQ(first.potentials.size(), second.potentials.size());
+    for (std::size_t i = 0; i < first.potentials.size(); ++i)
+      EXPECT_NEAR(second.potentials[i], 2.0 * first.potentials[i],
+                  1e-9 * std::abs(first.potentials[i]) + 1e-12);
+  });
+}
+
+TEST(Fmm, RepeatedSetupOnSameInstanceMatchesFreshInstance) {
+  kernels::LaplaceKernel kernel;
+  FmmOptions opts;
+  opts.surface_n = 4;
+  opts.max_points_per_leaf = 30;
+  opts.flow_trace = true;  // exercise flow-recorder lifetime across setups
+  const Tables tables(kernel, opts);
+  const int p = 2;
+
+  std::mutex mu;
+  std::map<int, std::map<std::uint64_t, double>> reused, fresh;
+  auto reports = comm::Runtime::run(p, [&](comm::RankCtx& ctx) {
+    auto pts_a = octree::generate_points(Distribution::kUniform, 900,
+                                         ctx.rank(), p, 1, 11);
+    auto pts_b = octree::generate_points(Distribution::kEllipsoid, 900,
+                                         ctx.rank(), p, 1, 12);
+    ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts_a));
+    (void)fmm.evaluate();
+    fmm.setup(std::move(pts_b));  // second setup on the same instance
+    auto out = fmm.evaluate();
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < out.gids.size(); ++i)
+      reused[ctx.rank()][out.gids[i]] = out.potentials[i];
+  });
+  comm::Runtime::run(p, [&](comm::RankCtx& ctx) {
+    auto pts_b = octree::generate_points(Distribution::kEllipsoid, 900,
+                                         ctx.rank(), p, 1, 12);
+    ParallelFmm fmm(ctx, tables);
+    fmm.setup(std::move(pts_b));
+    auto out = fmm.evaluate();
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < out.gids.size(); ++i)
+      fresh[ctx.rank()][out.gids[i]] = out.potentials[i];
+  });
+
+  // The second setup must leave no residue: bitwise-identical output to
+  // a fresh instance fed the same points.
+  ASSERT_EQ(reused.size(), fresh.size());
+  for (const auto& [rank, by_gid] : reused) {
+    ASSERT_EQ(by_gid.size(), fresh.at(rank).size());
+    for (const auto& [gid, pot] : by_gid)
+      EXPECT_EQ(pot, fresh.at(rank).at(gid)) << "rank " << rank << " gid "
+                                             << gid;
+  }
+  // mem.let.* gauges must reflect the latest setup, not the first.
+  for (const auto& rep : reports) {
+    const auto& g = rep.obs.gauges;
+    ASSERT_TRUE(g.count("mem.let.total_bytes"));
+    ASSERT_TRUE(g.count("mem.let.ghost_bytes"));
+    EXPECT_GT(g.at("mem.let.total_bytes"), 0.0);
+    EXPECT_GE(g.at("mem.let.total_bytes"), g.at("mem.let.ghost_bytes"));
+  }
 }
 
 /// Sequential e2e accuracy check against direct summation with the

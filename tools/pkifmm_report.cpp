@@ -7,6 +7,10 @@
 ///   1. a paper-style per-phase breakdown (Table II layout: Max/Avg
 ///      wall time, Max/Avg flops, plus the overlap efficiency the
 ///      summary derives from cross-rank span timelines),
+///   1b. a setup breakdown (sort/tree, 2:1 balance, LET+ghost
+///      exchange, repartition sub-phases) plus the `setup.incr.*`
+///      counters — amortized per update step — when the run used
+///      incremental repair (ParallelFmm::update_points),
 ///   2. a roofline classification: per-phase achieved GFLOP/s,
 ///      arithmetic intensity (flops / estimated bytes moved, where
 ///      bytes = LLC misses x 64B lines), IPC and miss rates from the
@@ -178,13 +182,63 @@ static int run(int argc, char** argv) {
   std::printf("Per-phase breakdown (sorted by max wall time):\n%s\n",
               breakdown.str().c_str());
 
+  const obs::Json& metrics = doc.at("metrics");
+
+  // --- 1b. Setup breakdown: where tree construction spends its time
+  // (sort+tree build / 2:1 balance / LET+ghost exchange / repartition),
+  // plus the incremental-repair counters when the run drove
+  // update_points (time-stepping workloads). Phase names: the full
+  // rebuild records setup.tree/.b21/.let/.balance, the incremental
+  // path setup.incr.tree/.let/.balance.
+  {
+    std::vector<std::string> setup_phases;
+    for (const std::string& name : names)
+      if (name.rfind("setup.", 0) == 0) setup_phases.push_back(name);
+    std::sort(setup_phases.begin(), setup_phases.end());
+    if (!setup_phases.empty()) {
+      Table st({"Setup phase", "Max Wall", "Avg Wall", "Imbalance", "Msgs",
+                "Bytes"});
+      for (const std::string& name : setup_phases) {
+        const obs::Json& ph = phases.at(name);
+        st.add_row({name, sci(stat(ph, "wall", "max")),
+                    sci(stat(ph, "wall", "avg")),
+                    fixed(opt_field(ph.at("wall"), "imbalance", 1.0)),
+                    sci(stat(ph, "msgs_sent", "sum")),
+                    sci(stat(ph, "bytes_sent", "sum"))});
+      }
+      std::printf("Setup breakdown (sort/tree | 2:1 balance | LET+ghost | "
+                  "partition):\n%s\n",
+                  st.str().c_str());
+    }
+    // Incremental-repair counters, amortized per update step. Absent
+    // on pure setup()+evaluate() runs.
+    const double steps = metric_sum(metrics, "setup.incr.steps");
+    if (steps > 0.0) {
+      std::printf(
+          "Incremental setup: %s update step(s), %s full rebuild(s), "
+          "%s repartition(s)\n",
+          sci(steps).c_str(),
+          sci(std::max(0.0, metric_sum(metrics, "setup.incr.full_rebuilds")))
+              .c_str(),
+          sci(std::max(0.0, metric_sum(metrics, "setup.incr.repartitions")))
+              .c_str());
+      Table incr({"Counter", "Sum", "Per step"});
+      for (const std::string& key : metrics.keys()) {
+        if (key.rfind("setup.incr.", 0) != 0 || key == "setup.incr.steps")
+          continue;
+        const double sum = metric_sum(metrics, key);
+        incr.add_row({key.substr(11), sci(sum), sci(sum / steps)});
+      }
+      std::printf("%s\n", incr.str().c_str());
+    }
+  }
+
   // --- 2. Roofline classification. Rates are cluster-level: summed
   // flops over the phase's max wall across ranks. Bytes moved are
   // estimated as LLC misses x 64B cache lines — an undercount with
   // hardware prefetching, so the printed intensity is an upper bound.
   // The ridge point peak_gflops/peak_gbs splits bandwidth- from
   // compute-bound; "roof util" is achieved / roofline(AI).
-  const obs::Json& metrics = doc.at("metrics");
   {
     const double ranks_perf = metric_sum(metrics, "hw.ranks_perf");
     const double ranks_fb = metric_sum(metrics, "hw.ranks_fallback");

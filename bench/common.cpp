@@ -33,6 +33,9 @@ struct MetricsLog {
   int flow_capacity = 0;    ///< --flow-capacity (0 = library default)
   bool exec_dag = false;       ///< --exec-mode=dag: TaskGraph pipeline
   bool exec_mode_set = false;  ///< --exec-mode was given explicitly
+  bool health = false;         ///< --health: FmmOptions::health layer
+  bool health_rate_set = false;   ///< --health-sample-rate was given
+  double health_rate = 0.0;       ///< its value when set
   std::mutex mu;
 
   bool enabled() const {
@@ -145,6 +148,20 @@ void metrics_init(const Cli& cli, const std::string& bench_name) {
     log.exec_mode_set = true;
     log.exec_dag = exec == "dag";
   }
+  log.health = cli.has("health");
+  const std::string rate = cli.get("health-sample-rate", "");
+  if (!rate.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(rate.c_str(), &end);
+    if (end == rate.c_str() || *end != '\0' || !(v >= 0.0 && v <= 1.0)) {
+      std::fprintf(stderr,
+                   "%s: --health-sample-rate must be in [0, 1], got '%s'\n",
+                   bench_name.c_str(), rate.c_str());
+      std::exit(2);
+    }
+    log.health_rate_set = true;
+    log.health_rate = v;
+  }
   log.first_config = obs::Json::object();
   if (log.enabled()) std::atexit(flush_metrics);
 }
@@ -156,6 +173,8 @@ void apply_flow_flags(core::FmmOptions& opts) {
   if (log.exec_mode_set)
     opts.exec_mode = log.exec_dag ? core::ExecMode::kDag
                                   : core::ExecMode::kBulkSync;
+  if (log.health) opts.health = true;
+  if (log.health_rate_set) opts.health_sample_rate = log.health_rate;
 }
 
 void record_run(const std::string& kind, const ExperimentConfig& cfg,
@@ -185,6 +204,15 @@ void record_run(const std::string& kind, const ExperimentConfig& cfg,
                        ? log.exec_dag
                        : cfg.opts.exec_mode == core::ExecMode::kDag;
   config.set("exec_mode", dag ? "dag" : "bulk");
+  // Health runs carry different work (sampling direct sums) and an
+  // extra run.v1 field — stamp the config so report/trend tooling can
+  // tell health-on and health-off runs apart.
+  const bool health = log.health || cfg.opts.health;
+  config.set("health", health);
+  if (health)
+    config.set("health_sample_rate", log.health_rate_set
+                                         ? log.health_rate
+                                         : cfg.opts.health_sample_rate);
   if (log.run_index == 0) {
     log.first_config = config;
     log.first_config.set("kind", kind);

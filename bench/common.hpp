@@ -116,12 +116,16 @@ Experiment run_fmm(const ExperimentConfig& cfg, const std::string& kernel);
 /// records from a `--exec-mode=dag` process append under the bench name
 /// `<bench>+dag` so pkifmm_trend keeps the two modes' trajectories (and
 /// regression gates) separate.
+/// Also parses `--health` / `--health-sample-rate=<frac in [0,1]>`
+/// (FmmOptions::health numerical-health layer, DESIGN.md §5g): health
+/// runs carry `config.health` (+ rate) and an extra `health` object in
+/// their run.v1 history records.
 void metrics_init(const Cli& cli, const std::string& bench_name);
 
-/// Copies the --flow-trace / --flow-capacity / --exec-mode flags
-/// captured by metrics_init onto `opts`. Benches that drive
-/// comm::Runtime directly (instead of via run_fmm) call this on their
-/// own FmmOptions.
+/// Copies the --flow-trace / --flow-capacity / --exec-mode /
+/// --health / --health-sample-rate flags captured by metrics_init onto
+/// `opts`. Benches that drive comm::Runtime directly (instead of via
+/// run_fmm) call this on their own FmmOptions.
 void apply_flow_flags(core::FmmOptions& opts);
 
 /// Internal: appends one run's reports to the metrics log (no-op when

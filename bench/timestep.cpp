@@ -14,6 +14,12 @@
 /// CI runs this under the distinct bench key "timestep" with
 /// --history-out, so tools/pkifmm_trend gates the amortized
 /// cost-per-step trajectory separately from the evaluation benches.
+///
+/// `--health --eval=1` additionally runs the numerical-health layer
+/// (DESIGN.md §5g) every evaluation: the TimeStepper then diffs the
+/// sampled accuracy step-over-step and raises health.drift.* warnings
+/// when the error grows past FmmOptions::health_drift_ratio times the
+/// early-step baseline.
 
 #include <cstdio>
 #include <sstream>

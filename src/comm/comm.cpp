@@ -68,6 +68,16 @@ void fold_flat_counters(obs::RankMetrics& m, const PhaseTimer& timer,
     m.counters["coll." + name + ".msgs"] += static_cast<double>(s.msgs);
     m.counters["coll." + name + ".bytes"] += static_cast<double>(s.bytes);
   }
+  // Payload-transit digests (health layer): every message is matched
+  // within the run, so across ranks Σ sent == Σ recv — the summary
+  // compares the two sums as a transit-integrity sentinel. The owner
+  // (ParallelFmm) may have unbound digesting by the time the epilogue
+  // folds, so accumulated values count even when no longer enabled.
+  if (cost.payload_digests_enabled() || cost.payload_sent_digest() != 0.0 ||
+      cost.payload_recv_digest() != 0.0) {
+    m.counters["health.comm.payload_sent"] += cost.payload_sent_digest();
+    m.counters["health.comm.payload_recv"] += cost.payload_recv_digest();
+  }
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include "comm/bytes.hpp"
 #include "comm/cost.hpp"
 #include "comm/fabric.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
@@ -198,6 +199,9 @@ class Comm {
 
   void raw_send(int dest, int tag, Bytes payload) {
     cost_.on_send(dest, payload.size());
+    if (cost_.payload_digests_enabled())
+      cost_.add_payload_sent_digest(
+          obs::bytes_digest(payload.data(), payload.size()));
     // Stamp before the enqueue so the matched receive's dequeue time is
     // never earlier (non-negative latency after epoch alignment).
     if (obs::FlowRecorder* f = cost_.flow())
@@ -210,6 +214,9 @@ class Comm {
     if (f == nullptr) {
       Bytes payload = fabric_.recv(rank_, source, tag);
       cost_.on_recv(payload.size());
+      if (cost_.payload_digests_enabled())
+        cost_.add_payload_recv_digest(
+            obs::bytes_digest(payload.data(), payload.size()));
       return payload;
     }
     const double t0 = f->now();
@@ -218,6 +225,9 @@ class Comm {
     f->on_recv(source, tag, static_cast<std::int64_t>(payload.size()), t0,
                f->now(), blocked);
     cost_.on_recv(payload.size());
+    if (cost_.payload_digests_enabled())
+      cost_.add_payload_recv_digest(
+          obs::bytes_digest(payload.data(), payload.size()));
     return payload;
   }
 

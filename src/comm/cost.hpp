@@ -59,6 +59,19 @@ class CostTracker {
   }
   obs::FlowRecorder* flow() const { return flow_; }
 
+  /// Payload-transit digests (health layer, obs/health.hpp): while
+  /// enabled, Comm hashes every point-to-point payload at send and at
+  /// receive into two per-rank accumulators. Messages are matched
+  /// within their phase, so globally Σ sent digests == Σ recv digests
+  /// across ranks — any mismatch means bytes changed in transit (or a
+  /// payload was injected/corrupted between enqueue and dequeue).
+  void enable_payload_digests(bool on) { payload_digests_ = on; }
+  bool payload_digests_enabled() const { return payload_digests_; }
+  void add_payload_sent_digest(double d) { payload_sent_ += d; }
+  void add_payload_recv_digest(double d) { payload_recv_ += d; }
+  double payload_sent_digest() const { return payload_sent_; }
+  double payload_recv_digest() const { return payload_recv_; }
+
   void on_send(int dest, std::size_t bytes) {
     auto& c = phases_[phase_];
     ++c.msgs_sent;
@@ -168,6 +181,8 @@ class CostTracker {
     collectives_.clear();
     total_msgs_sent_ = 0;
     total_bytes_sent_ = 0;
+    payload_sent_ = 0.0;
+    payload_recv_ = 0.0;
   }
 
  private:
@@ -180,6 +195,9 @@ class CostTracker {
   obs::Recorder* rec_ = nullptr;
   obs::Histogram* msg_hist_ = nullptr;
   obs::FlowRecorder* flow_ = nullptr;
+  bool payload_digests_ = false;
+  double payload_sent_ = 0.0;
+  double payload_recv_ = 0.0;
 };
 
 /// Alpha-beta interconnect model plus a sustained per-core compute rate.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <numeric>
@@ -163,6 +164,7 @@ void Evaluator::run() {
     auto t = ctx_.timer.scope("eval.s2u");
     s2u();
   }
+  health_post_s2u();
   {
     auto t = ctx_.timer.scope("eval.u2u");
     u2u();
@@ -171,6 +173,7 @@ void Evaluator::run() {
     auto t = ctx_.timer.scope("eval.comm");
     comm_reduce();
   }
+  health_post_reduce();
   {
     auto t = ctx_.timer.scope("eval.vli");
     vli();
@@ -195,6 +198,7 @@ void Evaluator::run() {
     auto t = ctx_.timer.scope("eval.uli");
     uli_join();
   }
+  health_post_run();
   pool_->fold_stats(ctx_.rec);
   publish_mem_gauges();
 }
@@ -904,6 +908,12 @@ void Evaluator::run_dag() {
     for (std::size_t k = 0; k < f_.size(); ++k) f_[k] += f_uli_[k];
   }
 
+  // No phase boundaries exist in DAG mode, so the health sentinels run
+  // back to back after the drain (see evaluator.hpp).
+  health_post_s2u();
+  health_post_reduce();
+  health_post_run();
+
   // ULI overlap accounting: there is no join window in DAG mode — every
   // ULI burst executes interleaved with the rest of the graph, so
   // overlap == busy by construction. Must precede fold_stats (which
@@ -949,6 +959,138 @@ void Evaluator::publish_mem_gauges() {
                 cap(batch_in_) + cap(batch_out_) + cap(batch_tmp_) +
                     cap(slots_a_) + cap(slots_b_) + cap(slot_of_));
   rec.gauge_set("mem.eval.fft_chunk_bytes", cap(spectra_) + cap(fft_acc_));
+}
+
+namespace {
+
+/// Moment-invariant tolerance: the upward equivalent density's total
+/// "charge" matches the leaf's summed source densities only to the
+/// surface discretization accuracy, which is loose at surface_n = 3-4
+/// (the invariant is a corruption tripwire, not an accuracy bound —
+/// corruption flips sign bits or exponents and misses by orders of
+/// magnitude). Clean-run sweeps across kernels x distributions pin
+/// this headroom in tests/test_health.cpp.
+constexpr double kMomentTol = 0.05;
+
+}  // namespace
+
+void Evaluator::health_post_s2u() {
+  const FmmOptions& opts = tables_.options();
+  if (!opts.health) return;
+  auto t = ctx_.timer.scope("health.check");
+  obs::Recorder& rec = ctx_.rec;
+  const std::size_t elen = tables_.eq_len();
+  const int sd = tables_.sdim();
+  const auto& kern = tables_.kernel();
+  // The monopole term of a 1/r-class kernel is the total source
+  // density, so the equivalent density must conserve it per component.
+  const bool moment =
+      kern.homogeneous() && kern.homogeneity_degree() == -1.0;
+
+  double digest = 0.0;
+  double moment_max = 0.0;
+  std::size_t bad = 0, violations = 0;
+  bool injected = false;
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!(node.owned && node.global_leaf)) continue;
+    std::span<double> chunk(u_.data() + i * elen, elen);
+    // Corrupt the FIRST owned leaf (not the root: a top-level chunk can
+    // have no V/W consumers, leaving outputs untouched) so the fault
+    // both lands in this digest and propagates downstream.
+    if (!injected &&
+        obs::maybe_inject(obs::InjectPhase::kS2u, ctx_.rank(), chunk)) {
+      injected = true;
+      rec.counter_add("health.injected");
+    }
+    digest += obs::chunk_digest(chunk, morton::KeyHash{}(node.key));
+    bad += obs::nonfinite_count(chunk);
+    if (moment && !leaf_source_densities(i).empty()) {
+      const std::span<const double> den = leaf_source_densities(i);
+      double diff = 0.0, ref = 0.0;
+      const std::size_t npts = elen / sd;
+      const std::size_t nsrc = den.size() / sd;
+      for (int c = 0; c < sd; ++c) {
+        double su = 0.0, sq = 0.0;
+        for (std::size_t pt = 0; pt < npts; ++pt) su += chunk[pt * sd + c];
+        for (std::size_t s = 0; s < nsrc; ++s) sq += den[s * sd + c];
+        diff += std::abs(su - sq);
+        ref += std::abs(sq);
+      }
+      const double rel = diff / std::max(ref, 1e-300);
+      moment_max = std::max(moment_max, rel);
+      if (rel > kMomentTol) ++violations;
+    }
+  }
+  rec.counter_add("health.digest.u", digest);
+  if (bad > 0)
+    rec.counter_add("health.s2u.nonfinite", static_cast<double>(bad));
+  if (violations > 0)
+    rec.counter_add("health.moment.violations",
+                    static_cast<double>(violations));
+  // Running max as a counter (only counters cross the summary).
+  rec.counter_add("health.moment.max_rel",
+                  std::max(0.0, moment_max - rec.counter("health.moment.max_rel")));
+  PKIFMM_CHECK_MSG(!opts.health_fatal || bad == 0,
+                   "health: non-finite upward densities after S2U");
+  PKIFMM_CHECK_MSG(!opts.health_fatal || violations == 0,
+                   "health: moment invariant violated after S2U");
+}
+
+void Evaluator::health_post_reduce() {
+  const FmmOptions& opts = tables_.options();
+  if (!opts.health) return;
+  auto t = ctx_.timer.scope("health.check");
+  obs::Recorder& rec = ctx_.rec;
+  const std::size_t elen = tables_.eq_len();
+
+  double digest = 0.0;
+  std::size_t bad = 0;
+  bool injected = false;
+  for (std::size_t i = 0; i < let_.nodes.size(); ++i) {
+    const LetNode& node = let_.nodes[i];
+    if (!node.owned) continue;
+    std::span<double> chunk(u_.data() + i * elen, elen);
+    if (!injected && node.global_leaf &&
+        obs::maybe_inject(obs::InjectPhase::kReduce, ctx_.rank(), chunk)) {
+      injected = true;
+      rec.counter_add("health.injected");
+    }
+    digest += obs::chunk_digest(chunk, morton::KeyHash{}(node.key));
+    bad += obs::nonfinite_count(chunk);
+  }
+  rec.counter_add("health.digest.reduce", digest);
+  if (bad > 0)
+    rec.counter_add("health.reduce.nonfinite", static_cast<double>(bad));
+  PKIFMM_CHECK_MSG(!opts.health_fatal || bad == 0,
+                   "health: non-finite upward densities after reduce");
+}
+
+void Evaluator::health_post_run() {
+  const FmmOptions& opts = tables_.options();
+  if (!opts.health) return;
+  auto t = ctx_.timer.scope("health.check");
+  obs::Recorder& rec = ctx_.rec;
+
+  double digest = 0.0;
+  std::size_t bad = 0;
+  bool injected = false;
+  for (const LetNode& node : let_.nodes) {
+    if (!(node.owned && node.global_leaf) || node.target_count == 0) continue;
+    std::span<double> chunk = leaf_target_potential(node);
+    if (!injected &&
+        obs::maybe_inject(obs::InjectPhase::kD2t, ctx_.rank(), chunk)) {
+      injected = true;
+      rec.counter_add("health.injected");
+    }
+    digest += obs::chunk_digest(chunk, morton::KeyHash{}(node.key));
+    bad += obs::nonfinite_count(chunk);
+  }
+  rec.counter_add("health.digest.pot", digest);
+  if (bad > 0)
+    rec.counter_add("health.d2t.nonfinite", static_cast<double>(bad));
+  PKIFMM_CHECK_MSG(!opts.health_fatal || bad == 0,
+                   "health: non-finite potentials after D2T");
 }
 
 void Evaluator::s2u() { batched() ? s2u_batched() : s2u_scalar(); }

@@ -174,6 +174,17 @@ class Evaluator {
   /// (run() calls this after the pipeline; see DESIGN.md §5b).
   void publish_mem_gauges();
 
+  // Health-layer phase-boundary sentinels (FmmOptions::health,
+  // DESIGN.md §5g): NaN/Inf scans, the moment invariant, and
+  // order-independent state digests, recorded as `health.*` counters
+  // (hard failures under health_fatal). No-ops when health is off. In
+  // bulk-sync mode each runs at its phase boundary; run_dag has no
+  // boundaries, so all three run post-drain (injected corruption is
+  // still caught by the digests, just not mid-pipeline).
+  void health_post_s2u();    ///< owned-leaf upward densities
+  void health_post_reduce(); ///< reduced upward densities (all owned)
+  void health_post_run();    ///< final potentials (owned leaf targets)
+
   const Tables& tables_;
   const octree::Let& let_;
   comm::RankCtx& ctx_;

@@ -6,6 +6,7 @@
 
 #include "obs/aggregate.hpp"
 #include "obs/flow.hpp"
+#include "obs/health.hpp"
 #include "octree/balance.hpp"
 
 namespace pkifmm::core {
@@ -22,9 +23,16 @@ ParallelFmm::ParallelFmm(comm::RankCtx& ctx, const Tables& tables)
         ctx_.rec.epoch());
     ctx_.comm.cost().bind_flow(flow_.get());
   }
+  // Same respect-an-outer-binding pattern for the payload-transit
+  // digests of the health layer.
+  if (opts.health && !ctx_.comm.cost().payload_digests_enabled()) {
+    ctx_.comm.cost().enable_payload_digests(true);
+    payload_digests_bound_ = true;
+  }
 }
 
 ParallelFmm::~ParallelFmm() {
+  if (payload_digests_bound_) ctx_.comm.cost().enable_payload_digests(false);
   if (flow_ == nullptr) return;
   ctx_.comm.cost().bind_flow(nullptr);
   flow_->publish(ctx_.rec);
@@ -314,6 +322,11 @@ void ParallelFmm::update_points(const std::vector<octree::PointMove>& moves) {
 
 ParallelFmm::Result ParallelFmm::evaluate(bool with_gradient) {
   PKIFMM_CHECK_MSG(let_ != nullptr, "setup() must run before evaluate()");
+  const FmmOptions& opts = tables_.options();
+  if (opts.health) {
+    ++eval_count_;
+    ctx_.rec.counter_add("health.steps");
+  }
   Result out;
   {
     auto root = ctx_.rec.span("eval");
@@ -323,6 +336,7 @@ ParallelFmm::Result ParallelFmm::evaluate(bool with_gradient) {
       octree::refresh_ghost_densities(ctx_.comm, *let_);
       densities_dirty_ = false;
     }
+    if (opts.health) health_ghost_checks();
 
     Evaluator eval(tables_, *let_, ctx_);
     eval.run();
@@ -353,6 +367,11 @@ ParallelFmm::Result ParallelFmm::evaluate(bool with_gradient) {
     }
   }
 
+  // Accuracy sampling runs outside the "eval" span so a health-enabled
+  // run's eval.* phase times stay comparable to a health-off run; the
+  // sample's collectives and flops get their own health.sample phase.
+  if (opts.health && opts.health_sample_rate > 0.0) health_sample(out);
+
   // Cross-rank observability gather (outside the "eval" span, charged
   // to its own phase): snapshot the flat metric table first so the
   // gather's own traffic never appears in the summary it produces,
@@ -364,6 +383,131 @@ ParallelFmm::Result ParallelFmm::evaluate(bool with_gradient) {
     summary_ = obs::summarize_metrics(obs::gather_metrics(ctx_.comm, mine));
   }
   return out;
+}
+
+void ParallelFmm::health_ghost_checks() {
+  auto t = ctx_.timer.scope("health.check");
+  obs::Recorder& rec = ctx_.rec;
+
+  // Consumer side: one digest per non-owned global leaf with points —
+  // exactly the ghost copies this rank received. Injection corrupts
+  // the first ghost's density copy *before* digesting, so the fault is
+  // both visible to this digest and consumed by the evaluation.
+  bool injected = false;
+  double ghost_digest = 0.0;
+  for (octree::LetNode& node : let_->nodes) {
+    if (node.owned || !node.global_leaf || node.point_count == 0) continue;
+    auto pts = let_->points_of(node);
+    if (!injected) {
+      std::span<double> first_den(pts[0].den, octree::kMaxDensityDim);
+      if (obs::maybe_inject(obs::InjectPhase::kGhost, ctx_.rank(),
+                            first_den)) {
+        injected = true;
+        rec.counter_add("health.injected");
+      }
+    }
+    obs::ChunkDigest d(morton::KeyHash{}(node.key));
+    for (const octree::PointRec& pt : pts)
+      for (int c = 0; c < octree::kMaxDensityDim; ++c) d.add(pt.den[c]);
+    ghost_digest += d.finish();
+  }
+
+  // Owner side: one digest per ghost subscription, over the exact
+  // payload refresh_ghost_densities ships (every point's den array in
+  // bucket order) — a leaf consumed by two ranks contributes twice.
+  // Cross-rank, Σ health.digest.den == Σ health.digest.ghost in a
+  // clean run; the summary compares the two sums.
+  double den_digest = 0.0;
+  for (const auto& [ni, dest] : let_->ghost_subscriptions) {
+    const octree::LetNode& node = let_->nodes[ni];
+    obs::ChunkDigest d(morton::KeyHash{}(node.key));
+    for (const octree::PointRec& pt : let_->points_of(node))
+      for (int c = 0; c < octree::kMaxDensityDim; ++c) d.add(pt.den[c]);
+    den_digest += d.finish();
+  }
+  rec.counter_add("health.digest.den", den_digest);
+  rec.counter_add("health.digest.ghost", ghost_digest);
+}
+
+void ParallelFmm::health_sample(const Result& out) {
+  const FmmOptions& opts = tables_.options();
+  ctx_.comm.cost().set_phase("health.sample");
+  auto t = ctx_.timer.scope("health.sample");
+  obs::Recorder& rec = ctx_.rec;
+  const int sd = tables_.sdim();
+  const int td = tables_.tdim();
+
+  // Sampled owned targets: positions plus the FMM potentials, walked
+  // in the same leaf/point order evaluate() harvested Result in, so
+  // `idx` indexes out.potentials directly. Membership depends only on
+  // (gid, seed, step) — identical for any rank/thread count.
+  std::vector<double> my_pos, my_fmm;
+  double gid_digest = 0.0;
+  std::size_t idx = 0;
+  for (const octree::LetNode& node : let_->nodes) {
+    if (!(node.owned && node.global_leaf)) continue;
+    const auto pts = let_->points_of(node);
+    for (std::size_t k = 0; k < node.target_count; ++k, ++idx) {
+      const octree::PointRec& pt = pts[k];
+      if (!obs::health_sampled(static_cast<std::int64_t>(pt.gid),
+                               opts.health_seed, eval_count_,
+                               opts.health_sample_rate))
+        continue;
+      my_pos.insert(my_pos.end(), pt.pos, pt.pos + 3);
+      for (int c = 0; c < td; ++c)
+        my_fmm.push_back(out.potentials[idx * td + c]);
+      gid_digest += static_cast<double>(obs::health_mix64(pt.gid) >> 32);
+    }
+  }
+
+  // Everyone learns every sampled position; each rank adds its own
+  // sources' contribution to every one of them; an elementwise
+  // sum-reduce then yields the exact all-source direct reference.
+  const auto per_rank =
+      ctx_.comm.allgatherv(std::span<const double>(my_pos));
+  std::vector<std::size_t> offset(per_rank.size() + 1, 0);
+  std::vector<double> all_pos;
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    offset[r + 1] = offset[r] + per_rank[r].size();
+    all_pos.insert(all_pos.end(), per_rank[r].begin(), per_rank[r].end());
+  }
+
+  // This rank's owned sources, flattened (cold path — the sample runs
+  // once per evaluate at a small rate, so allocation is fine here).
+  std::vector<double> src_pos, src_den;
+  for (const octree::LetNode& node : let_->nodes) {
+    if (!(node.owned && node.global_leaf)) continue;
+    for (const octree::PointRec& pt : let_->points_of(node)) {
+      if (!pt.is_source()) continue;
+      src_pos.insert(src_pos.end(), pt.pos, pt.pos + 3);
+      src_den.insert(src_den.end(), pt.den, pt.den + sd);
+    }
+  }
+
+  std::vector<double> ref((all_pos.size() / 3) * td, 0.0);
+  ctx_.flops.add("health.sample", tables_.kernel().direct_sample(
+                                      all_pos, src_pos, src_den, ref));
+  const std::vector<double> ref_sum = ctx_.comm.allreduce(
+      std::span<const double>(ref),
+      [](double a, double b) { return a + b; });
+
+  // Compare this rank's slice of the reduced reference against its FMM
+  // values. err2/ref2 sum across ranks, so the summary-level
+  // sqrt(Σerr2 / Σref2) is the exact sampled relative L2 error.
+  const std::size_t base = offset[static_cast<std::size_t>(ctx_.rank())] / 3 *
+                           static_cast<std::size_t>(td);
+  double err2 = 0.0, ref2 = 0.0;
+  for (std::size_t j = 0; j < my_fmm.size(); ++j) {
+    const double r = ref_sum[base + j];
+    const double diff = my_fmm[j] - r;
+    err2 += diff * diff;
+    ref2 += r * r;
+  }
+  rec.counter_add("health.sample.count",
+                  static_cast<double>(my_pos.size() / 3));
+  rec.counter_add("health.sample.err2", err2);
+  rec.counter_add("health.sample.ref2", ref2);
+  rec.counter_add("health.sample.gid_digest", gid_digest);
 }
 
 }  // namespace pkifmm::core

@@ -109,6 +109,11 @@ class ParallelFmm {
   /// accounting (rendered by tools/pkifmm_report).
   const obs::Json& summary() const { return summary_; }
 
+  /// The per-rank recorder the FMM reports into — for callers layering
+  /// their own health/diagnostic counters on top (core::TimeStepper's
+  /// drift monitor).
+  obs::Recorder& recorder() const { return ctx_.rec; }
+
  private:
   /// Evaluate-phase cpu imbalance (max/avg) from the last summary —
   /// identical on every rank, so the threshold policy's decision is
@@ -116,6 +121,15 @@ class ParallelFmm {
   double evaluate_imbalance() const;
   void full_rebuild_with(const std::vector<octree::PointMove>& moves);
   void set_let_gauges();
+
+  /// Health layer (FmmOptions::health, DESIGN.md §5g): the ghost
+  /// density transit digests (owner-side per subscription vs
+  /// consumer-side per ghost leaf — globally equal sums in a clean
+  /// run), and the online accuracy sample (deterministic gid-hash
+  /// subset of owned targets re-evaluated against all sources via
+  /// Kernel::direct_sample, folded into health.sample.* counters).
+  void health_ghost_checks();
+  void health_sample(const Result& out);
 
   comm::RankCtx& ctx_;
   const Tables& tables_;
@@ -130,6 +144,12 @@ class ParallelFmm {
   int over_threshold_steps_ = 0;
   obs::Json summary_;
   bool densities_dirty_ = false;
+  /// Health bookkeeping: whether this object enabled the cost
+  /// tracker's payload digests (disabled again in the destructor,
+  /// mirroring the flow-recorder binding), and the evaluate() ordinal
+  /// that varies the accuracy-sample selection per step.
+  bool payload_digests_bound_ = false;
+  std::uint64_t eval_count_ = 0;
 };
 
 }  // namespace pkifmm::core

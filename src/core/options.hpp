@@ -141,6 +141,35 @@ struct FmmOptions {
   /// counted in `flow.dropped`). Preallocated at setup when flow_trace
   /// is on.
   int flow_capacity = 1 << 15;
+
+  /// Runtime numerical-health layer (obs/health.hpp, DESIGN.md §5g):
+  /// online accuracy sampling against Kernel::direct, NaN/Inf and
+  /// moment sentinels at phase boundaries, order-independent state
+  /// digests of equivalent densities / ghost buffers / potentials, and
+  /// comm payload-transit digests — all folded into `health.*`
+  /// counters and a `health` section of summary.json. Off by default:
+  /// evaluate() then runs exactly as before (zero health overhead).
+  bool health = false;
+
+  /// Fraction of targets re-evaluated by direct summation per
+  /// evaluate() when `health` is on (deterministic gid-hash sample,
+  /// identical for any rank/thread count). 0 disables sampling while
+  /// keeping sentinels and digests. The default keeps sampling cost
+  /// well under the 2% wall-overhead budget on N=100K-class runs.
+  double health_sample_rate = 1e-4;
+
+  /// Escalates health sentinel hits (non-finite values, ghost/moment
+  /// invariant violations) from counters to hard failures
+  /// (util::CheckFailure). Requires `health`.
+  bool health_fatal = false;
+
+  /// TimeStepper drift gate: after a 2-step baseline warmup, a step
+  /// whose sampled error exceeds `health_drift_ratio ×` the baseline
+  /// mean raises a `health.drift.warnings` count. Must be > 1.
+  double health_drift_ratio = 10.0;
+
+  /// Seed for the deterministic accuracy-sample selection.
+  std::uint64_t health_seed = 0x5eed;
 };
 
 }  // namespace pkifmm::core

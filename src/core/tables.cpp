@@ -36,6 +36,22 @@ void decode_offset(int off, int& dx, int& dy, int& dz) {
   dx = off / 49 - 3;
 }
 
+/// Non-geometry option validation, shared by the Tables ctor and
+/// with_options so an invalid configuration is rejected wherever a
+/// usable FmmOptions enters the system (mirrors the set_densities
+/// rejection style).
+void validate_options(const FmmOptions& opts) {
+  PKIFMM_CHECK_MSG(std::isfinite(opts.health_sample_rate) &&
+                       opts.health_sample_rate >= 0.0 &&
+                       opts.health_sample_rate <= 1.0,
+                   "health_sample_rate must be a finite fraction in [0, 1]");
+  PKIFMM_CHECK_MSG(!opts.health_fatal || opts.health,
+                   "health_fatal requires health");
+  PKIFMM_CHECK_MSG(
+      std::isfinite(opts.health_drift_ratio) && opts.health_drift_ratio > 1.0,
+      "health_drift_ratio must be finite and > 1");
+}
+
 }  // namespace
 
 Tables Tables::with_options(const FmmOptions& opts) const {
@@ -47,6 +63,7 @@ Tables Tables::with_options(const FmmOptions& opts) const {
           opts.down_check_radius == opts_.down_check_radius &&
           opts.pinv_cutoff == opts_.pinv_cutoff,
       "with_options may not change geometry-affecting fields");
+  validate_options(opts);
   Tables t = *this;
   t.opts_ = opts;
   return t;
@@ -55,6 +72,7 @@ Tables Tables::with_options(const FmmOptions& opts) const {
 Tables::Tables(const kernels::Kernel& kernel, const FmmOptions& opts)
     : kernel_(kernel), opts_(opts) {
   PKIFMM_CHECK(opts.surface_n >= 3);
+  validate_options(opts);
   m_ = surface_point_count(opts.surface_n);
   sdim_ = kernel.source_dim();
   tdim_ = kernel.target_dim();

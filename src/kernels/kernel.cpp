@@ -87,6 +87,13 @@ std::uint64_t Kernel::direct(std::span<const double> targets,
   return nt * ns * flops_per_interaction();
 }
 
+std::uint64_t Kernel::direct_sample(std::span<const double> targets,
+                                    std::span<const double> sources,
+                                    std::span<const double> density,
+                                    std::span<double> potential) const {
+  return direct(targets, sources, density, potential);
+}
+
 la::Matrix Kernel::assemble(std::span<const double> targets,
                             std::span<const double> sources) const {
   PKIFMM_CHECK(targets.size() % 3 == 0 && sources.size() % 3 == 0);

@@ -89,6 +89,18 @@ class Kernel {
   /// precomputation (S, U, D, E, Q, R, T operators of paper Table I).
   la::Matrix assemble(std::span<const double> targets,
                       std::span<const double> sources) const;
+
+  /// Reference summation for the online health sampler
+  /// (obs/health.hpp): identical contract to direct(), but a stable,
+  /// non-virtual entry point so the health layer's accuracy estimate is
+  /// pinned to the kernel's canonical summation semantics (coincident
+  /// target/source pairs contribute the kernel's own zero-displacement
+  /// block — exactly what the FMM's U-list computes) even if direct()
+  /// later grows fast-math variants. Forwards to direct().
+  std::uint64_t direct_sample(std::span<const double> targets,
+                              std::span<const double> sources,
+                              std::span<const double> density,
+                              std::span<double> potential) const;
 };
 
 /// Laplace single layer: K = 1 / (4 pi |d|). Scalar, homogeneous of

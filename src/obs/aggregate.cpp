@@ -577,6 +577,90 @@ Json summarize_runs(const std::string& bench,
     doc.set("flow", std::move(flow));
   }
 
+  // ---- health section (runs with FmmOptions::health only) -----------
+  // All health signals are plain counters (the only metric kind the
+  // cross-rank aggregation carries), so this section is pure
+  // derivation: cross-rank sums for the additive signals, the exact
+  // L2-norm ratio for the sampled error, and exact-equality checks for
+  // the digest pairs that must balance globally (see obs/health.hpp —
+  // digests are integer-valued doubles, so summed comparisons are
+  // exact well below 2^53).
+  {
+    auto metric_total = [&](const char* name) -> double {
+      auto it = metric_aggs.find(name);
+      return it == metric_aggs.end()
+                 ? 0.0
+                 : it->second.mean() *
+                       static_cast<double>(it->second.count());
+    };
+    auto metric_max = [&](const char* name) -> double {
+      auto it = metric_aggs.find(name);
+      return it == metric_aggs.end() || it->second.count() == 0
+                 ? 0.0
+                 : it->second.max();
+    };
+    bool have_health = false;
+    for (const auto& [name, acc] : metric_aggs)
+      if (name.starts_with("health.")) {
+        have_health = true;
+        break;
+      }
+    if (have_health) {
+      Json health = Json::object();
+      // Every rank counts each health-enabled evaluate() once, so the
+      // per-rank max is the number of instrumented steps.
+      health.set("steps", metric_max("health.steps"));
+
+      Json sample = Json::object();
+      const double cnt = metric_total("health.sample.count");
+      const double err2 = metric_total("health.sample.err2");
+      const double ref2 = metric_total("health.sample.ref2");
+      sample.set("count", cnt);
+      sample.set("err2", err2);
+      sample.set("ref2", ref2);
+      sample.set("rel_err", ref2 > 0.0 ? std::sqrt(err2 / ref2) : 0.0);
+      sample.set("gid_digest", metric_total("health.sample.gid_digest"));
+      health.set("sample", std::move(sample));
+
+      Json sent = Json::object();
+      sent.set("nonfinite", metric_total("health.s2u.nonfinite") +
+                                metric_total("health.reduce.nonfinite") +
+                                metric_total("health.d2t.nonfinite"));
+      sent.set("moment_violations",
+               metric_total("health.moment.violations"));
+      sent.set("moment_max_rel", metric_max("health.moment.max_rel"));
+      sent.set("injected", metric_total("health.injected"));
+      health.set("sentinels", std::move(sent));
+
+      Json dig = Json::object();
+      const double dden = metric_total("health.digest.den");
+      const double dghost = metric_total("health.digest.ghost");
+      const double psent = metric_total("health.comm.payload_sent");
+      const double precv = metric_total("health.comm.payload_recv");
+      dig.set("u", metric_total("health.digest.u"));
+      dig.set("reduce", metric_total("health.digest.reduce"));
+      dig.set("pot", metric_total("health.digest.pot"));
+      dig.set("den", dden);
+      dig.set("ghost", dghost);
+      dig.set("ghost_match", dden == dghost);
+      dig.set("payload_sent", psent);
+      dig.set("payload_recv", precv);
+      dig.set("payload_match", psent == precv);
+      health.set("digests", std::move(dig));
+
+      // Drift counters are recorded identically on every rank (the
+      // decision derives from the shared summary), so per-rank max is
+      // the per-run value.
+      Json drift = Json::object();
+      drift.set("steps", metric_max("health.drift.steps"));
+      drift.set("warnings", metric_max("health.drift.warnings"));
+      drift.set("err_max", metric_max("health.drift.err_max"));
+      health.set("drift", std::move(drift));
+
+      doc.set("health", std::move(health));
+    }
+  }
+
   Json comm_matrix = Json::object();
   for (auto& [phase, mat] : matrices) {
     mat.ensure(nranks);  // pad to the final rank count
@@ -683,6 +767,44 @@ void validate_summary_json(const Json& doc) {
             "wait_seconds", "latency_p50", "latency_p95", "latency_max"})
         PKIFMM_CHECK_MSG(p.contains(field) && p.at(field).is_number(),
                          "flow pair missing '" << field << "'");
+  }
+
+  // Health section is optional (FmmOptions::health runs only).
+  if (doc.contains("health")) {
+    const Json& health = doc.at("health");
+    PKIFMM_CHECK(health.type() == Json::Type::kObject);
+    PKIFMM_CHECK_MSG(health.contains("steps") &&
+                         health.at("steps").is_number(),
+                     "health section missing 'steps'");
+    for (const char* sect : {"sample", "sentinels", "digests", "drift"})
+      PKIFMM_CHECK_MSG(health.contains(sect) &&
+                           health.at(sect).type() == Json::Type::kObject,
+                       "health section missing '" << sect << "'");
+    const Json& sample = health.at("sample");
+    for (const char* field :
+         {"count", "err2", "ref2", "rel_err", "gid_digest"})
+      PKIFMM_CHECK_MSG(sample.contains(field) &&
+                           sample.at(field).is_number() &&
+                           std::isfinite(sample.at(field).as_double()),
+                       "health sample missing '" << field << "'");
+    const Json& sent = health.at("sentinels");
+    for (const char* field :
+         {"nonfinite", "moment_violations", "moment_max_rel", "injected"})
+      PKIFMM_CHECK_MSG(sent.contains(field) && sent.at(field).is_number(),
+                       "health sentinels missing '" << field << "'");
+    const Json& dig = health.at("digests");
+    for (const char* field : {"u", "reduce", "pot", "den", "ghost",
+                              "payload_sent", "payload_recv"})
+      PKIFMM_CHECK_MSG(dig.contains(field) && dig.at(field).is_number(),
+                       "health digests missing '" << field << "'");
+    for (const char* field : {"ghost_match", "payload_match"})
+      PKIFMM_CHECK_MSG(dig.contains(field),
+                       "health digests missing '" << field << "'");
+    const Json& drift = health.at("drift");
+    for (const char* field : {"steps", "warnings", "err_max"})
+      PKIFMM_CHECK_MSG(drift.contains(field) &&
+                           drift.at(field).is_number(),
+                       "health drift missing '" << field << "'");
   }
 
   const Json& mats = doc.at("comm_matrix");

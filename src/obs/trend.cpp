@@ -128,6 +128,17 @@ Json run_record_from_summary(const Json& summary, const std::string& bench,
   mem.set("peak_rss_bytes",
           static_cast<std::int64_t>(peak_rss_bytes()));
   rec.set("mem", std::move(mem));
+
+  // Optional numerical-health summary (FmmOptions::health runs): the
+  // sampled relative error becomes a warn-gated longitudinal signal
+  // alongside the perf metrics.
+  if (summary.contains("health")) {
+    const Json& hs = summary.at("health").at("sample");
+    Json health = Json::object();
+    health.set("sampled_rel_err", hs.at("rel_err").as_double());
+    health.set("sample_count", hs.at("count").as_double());
+    rec.set("health", std::move(health));
+  }
   return rec;
 }
 
@@ -278,6 +289,31 @@ Json trend_analyze(const std::vector<Json>& records,
       if (ratio > opt.*(m.ratio))
         warnings.push_back(
             finding(phase, m.key, ref, now, ratio, opt.*(m.ratio)));
+    }
+  }
+
+  // Sampled-error trend (health-enabled runs): warn-only, against the
+  // median of the reference records that carry the field. Accuracy is
+  // configuration-determined, not machine-determined, but benches mix
+  // health-on and health-off records in one history, so a hard gate
+  // would mis-fire whenever the field's presence flips.
+  if (fresh.contains("health")) {
+    const Json& fh = fresh.at("health");
+    std::vector<double> vals;
+    for (std::size_t i = ref0; i < navail; ++i)
+      if (records[i].contains("health"))
+        vals.push_back(
+            records[i].at("health").at("sampled_rel_err").as_double());
+    if (!vals.empty() && fh.contains("sampled_rel_err")) {
+      const double now = fh.at("sampled_rel_err").as_double();
+      if (now >= opt.min_err) {
+        ++checked;
+        const double ref = median(vals);
+        const double ratio = now / std::max(ref, opt.min_err);
+        if (ratio > opt.err_ratio)
+          warnings.push_back(finding("health", "sampled_rel_err", ref, now,
+                                     ratio, opt.err_ratio));
+      }
     }
   }
 

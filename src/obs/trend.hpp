@@ -29,7 +29,9 @@
 ///                    // gate, like hw/mem):
 ///                    "wait_seconds" }, ...
 ///     },
-///     "mem": { "peak_rss_bytes": <process VmHWM at record time> }
+///     "mem": { "peak_rss_bytes": <process VmHWM at record time> },
+///     // present only for health-enabled runs (warn-only gate):
+///     "health": { "sampled_rel_err": <double>, "sample_count": <double> }
 ///   }
 ///
 /// One JSON document per line (JSONL): appends are atomic enough for
@@ -88,6 +90,14 @@ struct TrendOptions {
   double min_msgs = 16;
   double min_bytes = 4096;
   double min_hw = 1e6;        ///< ignore hw metrics below this count
+  /// WARN bound for the sampled relative error of health-enabled runs
+  /// (run record field "health.sampled_rel_err"): warn when fresh
+  /// exceeds err_ratio × the reference median. Generous because the
+  /// sample set varies per step and small samples are noisy; the hard
+  /// accuracy contract stays in the offline tests.
+  double err_ratio = 4.0;
+  double min_err = 1e-12;     ///< ignore errors below this (p large
+                              ///< enough that the sample underflows)
   /// Promote the warn-only hw/mem/wait findings to hard failures
   /// ("ok" = false when any warning fires). For CI lanes pinned to one
   /// machine class, where hw counters ARE comparable run-over-run.

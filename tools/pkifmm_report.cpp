@@ -11,6 +11,14 @@
 ///      exchange, repartition sub-phases) plus the `setup.incr.*`
 ///      counters — amortized per update step — when the run used
 ///      incremental repair (ParallelFmm::update_points),
+///   1c. numerical health (only when the summary carries a "health"
+///      section, i.e. the run set FmmOptions::health / --health): the
+///      sampled relative error against direct summation, sentinel hit
+///      counts (non-finite values, moment-invariant violations,
+///      injected corruptions), digest match verdicts (ghost transit,
+///      message payload transit), and the drift monitor's step/warning
+///      counters. Any sentinel hit or digest mismatch prints a
+///      WARNING line,
 ///   2. a roofline classification: per-phase achieved GFLOP/s,
 ///      arithmetic intensity (flops / estimated bytes moved, where
 ///      bytes = LLC misses x 64B lines), IPC and miss rates from the
@@ -233,6 +241,65 @@ static int run(int argc, char** argv) {
     }
   }
 
+  // --- 1c. Numerical health (FmmOptions::health runs only).
+  if (doc.contains("health")) {
+    const obs::Json& h = doc.at("health");
+    const obs::Json& sample = h.at("sample");
+    const obs::Json& sent = h.at("sentinels");
+    const obs::Json& dig = h.at("digests");
+    const obs::Json& drift = h.at("drift");
+    std::printf("Numerical health (%s evaluation(s)):\n",
+                sci(h.at("steps").as_double()).c_str());
+    const double count = sample.at("count").as_double();
+    if (count > 0.0)
+      std::printf("  sampled accuracy: rel l2 err %s over %s target(s) "
+                  "(vs direct summation)\n",
+                  sci(sample.at("rel_err").as_double()).c_str(),
+                  sci(count).c_str());
+    else
+      std::printf("  sampled accuracy: no targets sampled "
+                  "(health_sample_rate 0 or tiny)\n");
+    const double nonfinite = sent.at("nonfinite").as_double();
+    const double violations = sent.at("moment_violations").as_double();
+    const double injected = sent.at("injected").as_double();
+    std::printf("  sentinels: %s non-finite, %s moment violation(s) "
+                "(max rel %s), %s injected\n",
+                sci(nonfinite).c_str(), sci(violations).c_str(),
+                sci(sent.at("moment_max_rel").as_double()).c_str(),
+                sci(injected).c_str());
+    const bool ghost_ok = dig.at("ghost_match").as_bool();
+    const bool payload_ok = dig.at("payload_match").as_bool();
+    std::printf("  digests: ghost transit %s | payload transit %s\n",
+                ghost_ok ? "MATCH" : "MISMATCH",
+                payload_ok ? "MATCH" : "MISMATCH");
+    const double dsteps = drift.at("steps").as_double();
+    const double dwarn = drift.at("warnings").as_double();
+    if (dsteps > 0.0)
+      std::printf("  drift: %s step(s), %s warning(s), max step err %s\n",
+                  sci(dsteps).c_str(), sci(dwarn).c_str(),
+                  sci(drift.at("err_max").as_double()).c_str());
+    if (nonfinite > 0.0)
+      std::printf("  WARNING: non-finite values detected in equivalent "
+                  "densities / potentials\n");
+    if (violations > 0.0)
+      std::printf("  WARNING: root-moment invariant violated — multipole "
+                  "moments disagree\n  with summed source densities\n");
+    if (!ghost_ok)
+      std::printf("  WARNING: ghost-density digests disagree between owner "
+                  "and consumer ranks\n");
+    if (!payload_ok)
+      std::printf("  WARNING: message payload digests disagree between "
+                  "send and receive sides\n");
+    if (dwarn > 0.0)
+      std::printf("  WARNING: sampled error drifted past "
+                  "health_drift_ratio x the early-step baseline\n");
+    if (injected > 0.0)
+      std::printf("  note: %s corruption(s) were fault-injected "
+                  "(PKIFMM_INJECT_CORRUPTION)\n",
+                  sci(injected).c_str());
+    std::printf("\n");
+  }
+
   // --- 2. Roofline classification. Rates are cluster-level: summed
   // flops over the phase's max wall across ranks. Bytes moved are
   // estimated as LLC misses x 64B cache lines — an undercount with
@@ -249,8 +316,7 @@ static int run(int argc, char** argv) {
       const obs::Json& ph = phases.at(name);
       const double flops = stat(ph, "flops", "sum");
       const double wall = stat(ph, "wall", "max");
-      if (flops <= 0.0 || wall <= 1e-9) continue;
-      const double gfs = flops / wall / 1e9;
+      if (wall <= 1e-9) continue;  // rates over ~zero time are noise
       const double cycles = metric_sum(metrics, "hw." + name + ".cycles");
       const double instr =
           metric_sum(metrics, "hw." + name + ".instructions");
@@ -258,23 +324,31 @@ static int run(int argc, char** argv) {
       const double llc = metric_sum(metrics, "hw." + name + ".llc_misses");
       const double br =
           metric_sum(metrics, "hw." + name + ".branch_misses");
-      std::string ai = "-", ipc = "-", l1dki = "-", llcki = "-",
-                  brki = "-", bound = "-", util = "-";
+      // Flopless phases (comm, bookkeeping) only earn a row when hw
+      // counters give them content; their flop-derived columns are "-"
+      // rather than 0.00/inf garbage.
+      if (flops <= 0.0 && instr <= 0.0) continue;
+      std::string gfs_s = "-", ai = "-", ipc = "-", l1dki = "-",
+                  llcki = "-", brki = "-", bound = "-", util = "-";
       if (instr > 0.0 && cycles > 0.0) ipc = fixed(instr / cycles);
       if (instr > 0.0) {
         if (l1d >= 0.0) l1dki = fixed(1e3 * l1d / instr);
         if (llc >= 0.0) llcki = fixed(1e3 * llc / instr);
         if (br >= 0.0) brki = fixed(1e3 * br / instr);
       }
-      if (llc > 0.0) {
-        const double intensity = flops / (llc * 64.0);
-        ai = fixed(intensity);
-        bound = intensity < ridge ? "bandwidth" : "compute";
-        const double roofline =
-            std::min(peak_gflops, intensity * peak_gbs);
-        util = bar(gfs / roofline, 1.0, 12);
+      if (flops > 0.0) {
+        const double gfs = flops / wall / 1e9;
+        gfs_s = fixed(gfs);
+        if (llc > 0.0) {
+          const double intensity = flops / (llc * 64.0);
+          ai = fixed(intensity);
+          bound = intensity < ridge ? "bandwidth" : "compute";
+          const double roofline =
+              std::min(peak_gflops, intensity * peak_gbs);
+          util = bar(gfs / roofline, 1.0, 12);
+        }
       }
-      roof.add_row({name, fixed(gfs), ai, ipc, l1dki, llcki, brki, bound,
+      roof.add_row({name, gfs_s, ai, ipc, l1dki, llcki, brki, bound,
                     util});
     }
     std::printf(
@@ -424,6 +498,16 @@ static int run(int argc, char** argv) {
             .c_str(),
         sci(flow.at("dropped").as_double()).c_str(),
         sci(flow.at("probes").as_double()).c_str());
+    // Ring overflow silently biases every wait figure below: dropped
+    // events mean unmatched sends/recvs whose wait time is simply
+    // missing. Make that loud instead of one number in the line above.
+    const double dropped = flow.at("dropped").as_double();
+    if (dropped > 0.0)
+      std::printf(
+          "  WARNING: %s flow event(s) dropped (ring full) — wait/latency "
+          "figures\n  below UNDERCOUNT; re-run with a larger "
+          "--flow-capacity.\n",
+          sci(dropped).c_str());
 
     Table waits({"Phase", "Wall (s)", "Compute", "Comm wait", "Pool idle",
                  "Wait frac", "Bar"});

@@ -14,6 +14,8 @@
 ///       [--bench=<name>]      # analyze only this bench's records
 ///       [--window=8]          # reference = median of last K records
 ///       [--time-ratio=1.6] [--work-ratio=1.25] [--hw-ratio=1.5]
+///       [--err-ratio=4]       # WARN bound for the sampled relative
+///                             # error of health-enabled runs
 ///       [--min-seconds=5e-2] [--min-flops=1e4]
 ///       [--report-out=<trend_report.json>]
 ///       [--warn-only]         # exit 0 even on hard regressions
@@ -84,6 +86,7 @@ static int run(int argc, char** argv) {
   opt.time_ratio = cli.get_double("time-ratio", opt.time_ratio);
   opt.work_ratio = cli.get_double("work-ratio", opt.work_ratio);
   opt.hw_ratio = cli.get_double("hw-ratio", opt.hw_ratio);
+  opt.err_ratio = cli.get_double("err-ratio", opt.err_ratio);
   opt.min_seconds = cli.get_double("min-seconds", opt.min_seconds);
   opt.min_flops = cli.get_double("min-flops", opt.min_flops);
   opt.strict = cli.has("strict");
@@ -167,7 +170,8 @@ static int run(int argc, char** argv) {
                   analysis.at("warnings").size());
     }
     print_findings("Regressions (hard)", analysis.at("regressions"));
-    print_findings("Warnings (hw/mem, advisory)", analysis.at("warnings"));
+    print_findings("Warnings (hw/mem/health, advisory)",
+                   analysis.at("warnings"));
     std::printf("\n");
     benches.set(bench, analysis);
   }
